@@ -1,0 +1,61 @@
+"""Shared sweep for the inference-inference figures (Figures 11, 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_common import BACKENDS_MAIN, DURATION, run_cell
+
+from repro.experiments.registry import inf_inf_config
+from repro.experiments.tables import format_table
+
+__all__ = ["inf_inf_sweep", "print_inf_inf", "assert_inf_inf_shape"]
+
+
+def inf_inf_sweep(hp_models, be_models, arrivals: str):
+    """HP x BE x backend p99 sweep, averaged over BE models per HP."""
+    sweep = {}
+    for hp_model in hp_models:
+        sweep[hp_model] = {}
+        partners = [m for m in be_models if m != hp_model]
+        for backend in BACKENDS_MAIN:
+            p99s, aggs = [], []
+            for be_model in partners:
+                config = inf_inf_config(hp_model, be_model, backend,
+                                        arrivals=arrivals, duration=DURATION)
+                result = run_cell(config)
+                p99s.append(result.hp_job.latency.p99)
+                aggs.append(result.aggregate_throughput)
+            sweep[hp_model][backend] = {
+                "p99": float(np.mean(p99s)),
+                "p99_std": float(np.std(p99s)),
+                "aggregate_tput": float(np.mean(aggs)),
+            }
+    return sweep
+
+
+def print_inf_inf(sweep, title: str) -> None:
+    rows = []
+    for hp_model, backends in sweep.items():
+        ideal = backends["ideal"]["p99"]
+        for backend, cell in backends.items():
+            rows.append([
+                hp_model, backend,
+                f"{cell['p99']*1e3:.2f}ms",
+                f"{cell['p99']/ideal:.2f}x",
+                f"{cell['aggregate_tput']:.0f}",
+            ])
+    print()
+    print(f"== {title} ==")
+    print(format_table(
+        ["HP model", "Backend", "p99 (avg)", "p99/ideal", "Agg rps"], rows,
+    ))
+
+
+def assert_inf_inf_shape(sweep, orion_bound: float = 1.35) -> None:
+    for hp_model, backends in sweep.items():
+        ideal = backends["ideal"]["p99"]
+        # Orion near ideal (paper: within 15-22%).
+        assert backends["orion"]["p99"] <= ideal * orion_bound, hp_model
+        # Orion's tail never worse than MPS's.
+        assert backends["orion"]["p99"] <= backends["mps"]["p99"] * 1.02, hp_model

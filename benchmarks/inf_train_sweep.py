@@ -1,0 +1,76 @@
+"""Shared sweep for the inference-training figures (Figures 6 and 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_common import BACKENDS_MAIN, DURATION, TRAINING_MODELS, run_cell
+
+from repro.experiments.registry import inf_train_config
+from repro.experiments.tables import format_table
+
+__all__ = ["inf_train_sweep", "print_sweep", "assert_sweep_shape"]
+
+HP_MODELS = ("resnet50", "mobilenet_v2", "resnet101", "bert", "transformer")
+
+
+def inf_train_sweep(arrivals: str):
+    """Run HP-inference x BE-training x backend; average over BE models.
+
+    Returns {hp_model: {backend: {p99, hp_tput, be_tput, agg_tput}}}.
+    """
+    sweep = {}
+    for hp_model in HP_MODELS:
+        sweep[hp_model] = {}
+        for backend in BACKENDS_MAIN:
+            p99s, hp_tputs, be_tputs = [], [], []
+            for be_model in TRAINING_MODELS:
+                config = inf_train_config(hp_model, be_model, backend,
+                                          arrivals=arrivals,
+                                          duration=DURATION)
+                result = run_cell(config)
+                p99s.append(result.hp_job.latency.p99)
+                hp_tputs.append(result.hp_job.throughput)
+                be_tputs.append(result.be_jobs()[0].throughput
+                                if result.be_jobs() else 0.0)
+            sweep[hp_model][backend] = {
+                "p99": float(np.mean(p99s)),
+                "p99_std": float(np.std(p99s)),
+                "hp_tput": float(np.mean(hp_tputs)),
+                "be_tput": float(np.mean(be_tputs)),
+            }
+    return sweep
+
+
+def print_sweep(sweep, title: str) -> None:
+    rows = []
+    for hp_model, backends in sweep.items():
+        ideal = backends["ideal"]["p99"]
+        for backend, cell in backends.items():
+            rows.append([
+                hp_model, backend,
+                f"{cell['p99']*1e3:.2f}ms",
+                f"{cell['p99']/ideal:.2f}x",
+                f"{cell['hp_tput']:.1f}",
+                f"{cell['be_tput']:.2f}",
+            ])
+    print()
+    print(f"== {title} ==")
+    print(format_table(
+        ["HP model", "Backend", "p99", "p99/ideal", "HP tput", "BE tput (avg)"],
+        rows,
+    ))
+
+
+def assert_sweep_shape(sweep, orion_bound: float = 1.35) -> None:
+    """The paper's inf-train claims, per HP model."""
+    for hp_model, backends in sweep.items():
+        ideal = backends["ideal"]["p99"]
+        orion = backends["orion"]["p99"]
+        reef = backends["reef"]["p99"]
+        # Orion keeps p99 near ideal (paper: within 14% on average).
+        assert orion <= ideal * orion_bound, hp_model
+        # Orion's tail beats REEF's (paper: 2.3-3x lower).
+        assert orion <= reef * 1.02, hp_model
+        # BE training still makes progress under Orion.
+        assert backends["orion"]["be_tput"] > 0, hp_model

@@ -1,0 +1,74 @@
+"""Figure 10: training-training collocation throughput.
+
+High-priority and best-effort training jobs collocated under every
+backend.  Paper reading: MPS/Streams cut HP throughput ~1.7x; Tick-Tock
+locksteps to the slowest job; REEF keeps HP within 8% of ideal but
+starves the best-effort job; Orion keeps HP within 16% of ideal while
+the best-effort job makes real progress (up to 1.6x aggregate).
+"""
+
+from bench_common import run_cell, save_result
+
+from repro.experiments.registry import train_train_config
+from repro.experiments.runner import solo_throughput
+from repro.experiments.tables import format_table
+from repro.gpu.specs import V100_16GB
+
+HP_MODELS = ("resnet50", "resnet101", "bert")
+BE_MODEL = "mobilenet_v2"
+BACKENDS = ("mps", "streams", "ticktock", "reef", "orion")
+
+
+def run_one(hp_model, backend):
+    orion_kwargs = {}
+    if backend == "orion":
+        # §5.1.1: SM_THRESHOLD raised for throughput-oriented HP jobs.
+        orion_kwargs = {"sm_threshold": 2 * V100_16GB.num_sms}
+    config = train_train_config(hp_model, BE_MODEL, backend, duration=3.0,
+                                orion=orion_kwargs)
+    result = run_cell(config)
+    return result.hp_job.throughput, result.be_jobs()[0].throughput
+
+
+def reproduce_fig10():
+    payload = {}
+    for hp_model in HP_MODELS:
+        dedicated_hp = solo_throughput(hp_model, "training")
+        dedicated_be = solo_throughput(BE_MODEL, "training")
+        payload[hp_model] = {"dedicated_hp": dedicated_hp,
+                             "dedicated_be": dedicated_be}
+        for backend in BACKENDS:
+            hp_tput, be_tput = run_one(hp_model, backend)
+            payload[hp_model][backend] = {"hp": hp_tput, "be": be_tput}
+    return payload
+
+
+def test_fig10(benchmark):
+    payload = benchmark.pedantic(reproduce_fig10, rounds=1, iterations=1)
+    rows = []
+    for hp_model, data in payload.items():
+        for backend in BACKENDS:
+            cell = data[backend]
+            rows.append([
+                hp_model, backend,
+                f"{cell['hp']:.2f}",
+                f"{cell['hp']/data['dedicated_hp']*100:.0f}%",
+                f"{cell['be']:.2f}",
+                f"{cell['be']/data['dedicated_be']*100:.0f}%",
+            ])
+    print()
+    print(format_table(
+        ["HP model", "Backend", "HP it/s", "HP vs ded", "BE it/s", "BE vs ded"],
+        rows,
+    ))
+    save_result("fig10", payload)
+    for hp_model, data in payload.items():
+        ded = data["dedicated_hp"]
+        # REEF: HP near ideal, BE starved.
+        assert data["reef"]["hp"] > 0.8 * ded, hp_model
+        assert data["reef"]["be"] < 0.2 * data["dedicated_be"], hp_model
+        # Orion: HP strong AND BE progresses (best of both worlds).
+        assert data["orion"]["hp"] > 0.7 * ded, hp_model
+        assert data["orion"]["be"] > data["reef"]["be"], hp_model
+        # MPS hurts the HP job more than Orion does.
+        assert data["orion"]["hp"] >= data["mps"]["hp"] * 0.95, hp_model

@@ -1,0 +1,19 @@
+"""Figure 11: inference-inference collocation, Apollo-trace HP arrivals.
+
+Vision models; the HP job replays the (synthetic) Apollo trace, the BE
+job issues uniform arrivals at the Table 3 rate.  Paper reading:
+Streams/MPS p99 ~1.9x ideal, REEF 1.86x, Orion within 22% of ideal.
+"""
+
+from bench_common import VISION, save_result
+from inf_inf_sweep import assert_inf_inf_shape, inf_inf_sweep, print_inf_inf
+
+
+def test_fig11(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: inf_inf_sweep(VISION, VISION, "apollo"),
+        rounds=1, iterations=1,
+    )
+    print_inf_inf(sweep, "Figure 11: inf-inf (Apollo trace)")
+    save_result("fig11", sweep)
+    assert_inf_inf_shape(sweep)

@@ -1,0 +1,24 @@
+"""Figure 12: inference-inference collocation, Poisson arrivals.
+
+Both jobs issue Poisson arrivals at the Table 3 rates.  Paper reading:
+Orion keeps HP p99 within 15% of ideal while REEF is 1.25x and
+Streams/MPS 1.89x ideal on average; aggregate throughput up to 7.3x a
+dedicated GPU serving only the HP stream.
+"""
+
+from bench_common import INFERENCE_MODELS, save_result
+from inf_inf_sweep import assert_inf_inf_shape, inf_inf_sweep, print_inf_inf
+
+# Pair every HP model with two representative partners to keep the
+# sweep minutes-scale (documented in EXPERIMENTS.md).
+BE_PARTNERS = ("resnet50", "mobilenet_v2")
+
+
+def test_fig12(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: inf_inf_sweep(INFERENCE_MODELS, BE_PARTNERS, "poisson"),
+        rounds=1, iterations=1,
+    )
+    print_inf_inf(sweep, "Figure 12: inf-inf (Poisson)")
+    save_result("fig12", sweep)
+    assert_inf_inf_shape(sweep)

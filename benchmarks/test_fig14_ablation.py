@@ -1,0 +1,66 @@
+"""Figure 14: performance analysis breakdown (policy ablation).
+
+inf-train with Poisson arrivals, adding one Orion mechanism at a time:
+GPU Streams -> +stream priorities -> +compute/memory profiles ->
++SM limit (full Orion) -> full Orion without stream priorities.
+Paper reading: priorities cut p95 by ~25%; profiles cut another ~48%;
+the SM rule up to ~54% more; with the full policy in place, stream
+priorities themselves become marginal.
+"""
+
+import numpy as np
+
+from bench_common import run_cell, save_result
+
+from repro.experiments.registry import inf_train_config
+from repro.experiments.tables import format_table
+
+HP_MODEL, BE_MODEL = "resnet50", "resnet101"
+
+LADDER = [
+    ("streams", "streams", {}),
+    ("stream-priorities", "priority-streams", {}),
+    ("+compute/mem profiles", "orion", {"use_sm_limit": False,
+                                        "use_dur_throttle": False}),
+    ("+SM limit (Orion)", "orion", {}),
+    ("orion w/o priorities", "orion", {"use_stream_priorities": False}),
+]
+
+
+def measure(backend, orion_kwargs, seeds=(0, 1)):
+    p95s, p99s = [], []
+    for seed in seeds:
+        config = inf_train_config(HP_MODEL, BE_MODEL, backend,
+                                  arrivals="poisson", duration=2.5,
+                                  seed=seed, orion=orion_kwargs)
+        result = run_cell(config)
+        p95s.append(result.hp_job.latency.p95)
+        p99s.append(result.hp_job.latency.p99)
+    return float(np.mean(p95s)), float(np.mean(p99s))
+
+
+def reproduce_fig14():
+    payload = {}
+    for label, backend, orion_kwargs in LADDER:
+        p95, p99 = measure(backend, orion_kwargs)
+        payload[label] = {"p95": p95, "p99": p99}
+    return payload
+
+
+def test_fig14(benchmark):
+    payload = benchmark.pedantic(reproduce_fig14, rounds=1, iterations=1)
+    base = payload["streams"]["p95"]
+    rows = [[label, f"{data['p95']*1e3:.2f}ms", f"{data['p95']/base:.2f}x"]
+            for label, data in payload.items()]
+    print()
+    print(format_table(["Configuration", "HP p95", "vs Streams"], rows))
+    save_result("fig14", payload)
+    # Each policy rung improves (or at least never hurts) the tail.
+    assert payload["stream-priorities"]["p95"] <= base * 1.02
+    assert payload["+compute/mem profiles"]["p95"] \
+        <= payload["stream-priorities"]["p95"] * 1.05
+    assert payload["+SM limit (Orion)"]["p95"] \
+        <= payload["+compute/mem profiles"]["p95"] * 1.02
+    # With the full policy, stream priorities are marginal (paper §6.4).
+    full = payload["+SM limit (Orion)"]["p95"]
+    assert payload["orion w/o priorities"]["p95"] <= full * 1.25

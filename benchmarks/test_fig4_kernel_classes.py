@@ -1,0 +1,71 @@
+"""Figure 4: compute- vs memory-intensive kernels per workload.
+
+The paper classifies each workload's kernels as compute-intensive,
+memory-intensive, or unknown, and observes inference kernels run for
+10s-100s of us while training kernels run for 100s-1000s of us.  We
+regenerate the classification histogram from the profiler.
+"""
+
+import numpy as np
+
+from bench_common import save_result
+
+from repro.experiments.runner import get_profile
+from repro.experiments.tables import format_table
+from repro.gpu.specs import V100_16GB
+from repro.kernels.kernel import ResourceProfile
+from repro.workloads.models import MODEL_NAMES
+
+
+def reproduce_fig4():
+    rows = []
+    payload = {}
+    for model in MODEL_NAMES:
+        for kind in ("inference", "training"):
+            profile = get_profile(model, kind, V100_16GB)
+            kernels = list(profile.kernels.values())
+            counts = {p: 0 for p in ResourceProfile}
+            for k in kernels:
+                counts[k.profile] += 1
+            durations = np.array([k.duration for k in kernels])
+            rows.append([
+                model, kind,
+                counts[ResourceProfile.COMPUTE],
+                counts[ResourceProfile.MEMORY],
+                counts[ResourceProfile.UNKNOWN],
+                f"{np.median(durations)*1e6:.0f}us",
+                f"{durations.max()*1e6:.0f}us",
+            ])
+            payload[f"{model}:{kind}"] = {
+                "compute": counts[ResourceProfile.COMPUTE],
+                "memory": counts[ResourceProfile.MEMORY],
+                "unknown": counts[ResourceProfile.UNKNOWN],
+                "median_duration_us": float(np.median(durations) * 1e6),
+                "max_duration_us": float(durations.max() * 1e6),
+            }
+    return rows, payload
+
+
+def test_fig4(benchmark):
+    rows, payload = benchmark.pedantic(reproduce_fig4, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Model", "Workload", "Compute", "Memory", "Unknown",
+         "Median dur", "Max dur"],
+        rows,
+    ))
+    save_result("fig4", payload)
+    for key, data in payload.items():
+        # Every workload mixes both kernel classes — the premise of
+        # opposite-profile collocation.
+        assert data["compute"] > 0, key
+        assert data["memory"] > 0, key
+    for model in MODEL_NAMES:
+        inf = payload[f"{model}:inference"]
+        train = payload[f"{model}:training"]
+        # Training kernels run longer than inference kernels (paper:
+        # 100s-1000s of us vs 10s-100s of us).
+        assert train["max_duration_us"] > inf["max_duration_us"]
+    # MobileNetV2 skews memory-bound (depthwise convolutions).
+    mnv2 = payload["mobilenet_v2:training"]
+    assert mnv2["memory"] > mnv2["compute"]

@@ -1,0 +1,19 @@
+"""Figure 6: inference-training collocation with Apollo-trace arrivals.
+
+High-priority inference driven by the (synthetic) Apollo trace,
+collocated with best-effort training; p99 latency (6a) and aggregate
+throughput (6b) per backend, averaged across best-effort models.
+Paper reading: Orion stays within ~14% of ideal p99 while REEF is
+~3.4x ideal on average and MPS/temporal far worse.
+"""
+
+from bench_common import save_result
+from inf_train_sweep import assert_sweep_shape, inf_train_sweep, print_sweep
+
+
+def test_fig6(benchmark):
+    sweep = benchmark.pedantic(lambda: inf_train_sweep("apollo"),
+                               rounds=1, iterations=1)
+    print_sweep(sweep, "Figure 6: inf-train (Apollo trace)")
+    save_result("fig6", sweep)
+    assert_sweep_shape(sweep)

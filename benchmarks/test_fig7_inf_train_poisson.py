@@ -1,0 +1,21 @@
+"""Figure 7: inference-training collocation with Poisson arrivals.
+
+Same sweep as Figure 6 with Poisson arrivals at the Table 3 rates.
+Paper reading: Orion within 14% of ideal p99 (2.3-3x lower than REEF),
+aggregate throughput up to 2.3x a dedicated GPU's inference throughput.
+"""
+
+from bench_common import save_result
+from inf_train_sweep import assert_sweep_shape, inf_train_sweep, print_sweep
+
+
+def test_fig7(benchmark):
+    sweep = benchmark.pedantic(lambda: inf_train_sweep("poisson"),
+                               rounds=1, iterations=1)
+    print_sweep(sweep, "Figure 7: inf-train (Poisson)")
+    save_result("fig7", sweep)
+    assert_sweep_shape(sweep)
+    # Aggregate throughput grows vs inference alone (paper: up to 2.3x).
+    for hp_model, backends in sweep.items():
+        orion = backends["orion"]
+        assert orion["hp_tput"] + orion["be_tput"] > orion["hp_tput"]

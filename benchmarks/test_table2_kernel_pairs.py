@@ -1,0 +1,87 @@
+"""Table 2: the Conv2d/BN2d collocation toy experiment.
+
+Paper values (V100): Conv2d+Conv2d 2.59 ms seq / 2.63 ms collocated
+(0.98x); BN2d+BN2d 1.78/1.65 (1.08x); Conv2d+BN2d 2.15/1.52 (1.41x).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tests"))
+
+from bench_common import ms, save_result
+from helpers import BN_LIKE, CONV_LIKE
+
+from repro.experiments.tables import format_table
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import V100_16GB
+from repro.kernels.costmodel import instantiate_kernel
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+
+PAPER = {
+    "Conv2d-Conv2d": (2.59, 2.63, 0.98),
+    "BN2d-BN2d": (1.78, 1.65, 1.08),
+    "Conv2d-BN2d": (2.15, 1.52, 1.41),
+}
+
+
+def run_pair(spec_a, spec_b, collocated):
+    sim = Simulator()
+    device = GpuDevice(sim, V100_16GB)
+    record = {}
+    if collocated:
+        sa, sb = device.create_stream(), device.create_stream()
+
+        def body():
+            da = sa.submit(instantiate_kernel(spec_a, V100_16GB))
+            db = sb.submit(instantiate_kernel(spec_b, V100_16GB))
+            yield da
+            yield db
+            record["t"] = sim.now
+    else:
+        stream = device.create_stream()
+
+        def body():
+            stream.submit(instantiate_kernel(spec_a, V100_16GB))
+            done = stream.submit(instantiate_kernel(spec_b, V100_16GB))
+            yield done
+            record["t"] = sim.now
+
+    spawn(sim, body())
+    sim.run()
+    return record["t"]
+
+
+def reproduce_table2():
+    pairs = {
+        "Conv2d-Conv2d": (CONV_LIKE, CONV_LIKE),
+        "BN2d-BN2d": (BN_LIKE, BN_LIKE),
+        "Conv2d-BN2d": (CONV_LIKE, BN_LIKE),
+    }
+    rows = []
+    payload = {}
+    for name, (a, b) in pairs.items():
+        seq = run_pair(a, b, False)
+        col = run_pair(a, b, True)
+        speedup = seq / col
+        p_seq, p_col, p_speed = PAPER[name]
+        rows.append([name, f"{ms(seq):.2f}", f"{ms(col):.2f}",
+                     f"{speedup:.2f}x", f"{p_seq}/{p_col} ({p_speed}x)"])
+        payload[name] = {"sequential_ms": ms(seq), "collocated_ms": ms(col),
+                         "speedup": speedup, "paper_speedup": p_speed}
+    return rows, payload
+
+
+def test_table2(benchmark):
+    rows, payload = benchmark.pedantic(reproduce_table2, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Kernel pair", "Sequential", "Collocated", "Speedup", "Paper (seq/col)"],
+        rows,
+    ))
+    save_result("table2", payload)
+    # Shape assertions: same-compute ~1x, opposite-profile the big win.
+    assert abs(payload["Conv2d-Conv2d"]["speedup"] - 0.98) < 0.10
+    assert abs(payload["BN2d-BN2d"]["speedup"] - 1.08) < 0.12
+    assert payload["Conv2d-BN2d"]["speedup"] > 1.3

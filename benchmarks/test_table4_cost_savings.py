@@ -1,0 +1,76 @@
+"""Table 4: cost savings from collocating inference with training.
+
+For each model, a best-effort training job is collocated (under Orion)
+with a high-priority Poisson-arrival inference job; cost savings follow
+the paper's formula  2 x Throughput_collocated / Throughput_dedicated.
+Paper values: ResNet50 1.45x, MobileNetV2 1.4x, ResNet101 1.49x,
+BERT 1.26x, Transformer 1.3x (savings 1.26-1.49x).
+"""
+
+from bench_common import run_cell, save_result
+
+from repro.experiments.registry import inf_train_config
+from repro.experiments.runner import solo_throughput
+from repro.experiments.tables import format_table
+from repro.metrics.cost import cost_savings
+from repro.workloads.models import MODEL_NAMES
+
+PAPER = {
+    "resnet50": (10.3, 7.45, 1.45),
+    "mobilenet_v2": (12.5, 8.78, 1.40),
+    "resnet101": (6.3, 4.7, 1.49),
+    "bert": (4.91, 3.1, 1.26),
+    "transformer": (6.0, 3.9, 1.30),
+}
+
+# The high-priority inference job collocated with each trainer (the
+# paper pairs each trainer with its Poisson inference workloads; we fix
+# ResNet50 inference as the representative HP job).
+HP_MODEL = "resnet50"
+
+
+def reproduce_table4():
+    payload = {}
+    for be_model in MODEL_NAMES:
+        dedicated = solo_throughput(be_model, "training")
+        config = inf_train_config(HP_MODEL, be_model, "orion",
+                                  arrivals="poisson", duration=3.0)
+        result = run_cell(config)
+        collocated = result.be_jobs()[0].throughput
+        savings = cost_savings(dedicated, collocated)
+        payload[be_model] = {
+            "dedicated_iters": dedicated,
+            "collocated_iters": collocated,
+            "cost_savings": savings,
+            "hp_p99_ms": result.hp_job.latency.p99 * 1e3,
+            "paper": dict(zip(("dedicated", "collocated", "savings"),
+                              PAPER[be_model])),
+        }
+    return payload
+
+
+def test_table4(benchmark):
+    payload = benchmark.pedantic(reproduce_table4, rounds=1, iterations=1)
+    rows = []
+    for model, data in payload.items():
+        p = data["paper"]
+        rows.append([
+            model,
+            f"{data['dedicated_iters']:.2f} ({p['dedicated']})",
+            f"{data['collocated_iters']:.2f} ({p['collocated']})",
+            f"{data['cost_savings']:.2f}x ({p['savings']}x)",
+        ])
+    print()
+    print(format_table(
+        ["Model", "Dedicated it/s (paper)", "Collocated it/s (paper)",
+         "Cost savings (paper)"],
+        rows,
+    ))
+    save_result("table4", payload)
+    for model, data in payload.items():
+        # Collocation always beats dedicating a second GPU (savings > 1)
+        # and stays in the paper's band shape (savings well below 2 —
+        # the trainer does lose some throughput to the inference job).
+        assert 1.1 < data["cost_savings"] <= 2.0, model
+        # Collocated throughput is below dedicated (interference is real).
+        assert data["collocated_iters"] < data["dedicated_iters"] * 1.02, model

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""§7 extension: collocating LLM token generation with compute-bound work.
+
+The paper's discussion section argues that LLM decode is memory-bound
+(it streams the full weights per token) and therefore a good partner
+for compute-intensive jobs under Orion's resource-aware policy.  This
+example serves a small LLM as the high-priority job while a best-effort
+BERT training job harvests the idle compute throughput.
+
+Run:  python examples/llm_collocation.py
+"""
+
+from repro.core import OrionBackend, OrionConfig
+from repro.experiments.runner import get_profile
+from repro.experiments.tables import format_table
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import V100_16GB
+from repro.metrics.latency import summarize_latencies
+from repro.metrics.throughput import throughput
+from repro.profiler.nsight import profile_plan
+from repro.profiler.profiles import ProfileStore
+from repro.runtime.client import ClientContext
+from repro.runtime.direct import DedicatedBackend
+from repro.runtime.host import HostGil, HostThread
+from repro.sim.engine import Simulator
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.clients import InferenceClient, TrainingClient
+from repro.workloads.models import get_plan
+from repro.workloads.models.llm import LLM_SMALL, llm_generation_plan
+
+import numpy as np
+
+DURATION, WARMUP = 4.0, 0.5
+LLM_RPS = 8.0
+BE_MODEL = "bert"
+
+
+def run(backend_name: str):
+    sim = Simulator()
+    llm_plan = llm_generation_plan(LLM_SMALL, batch=1, prompt_len=128,
+                                   gen_tokens=16)
+    if backend_name == "orion":
+        device = GpuDevice(sim, V100_16GB)
+        store = ProfileStore()
+        llm_profile = profile_plan(llm_plan, V100_16GB)
+        store.add(llm_profile)
+        store.add(get_profile(BE_MODEL, "training", V100_16GB))
+        backend = OrionBackend(
+            sim, device, store,
+            OrionConfig(hp_request_latency=llm_profile.request_latency),
+        )
+    else:
+        backend = DedicatedBackend(sim, lambda: GpuDevice(sim, V100_16GB))
+    gil = None if backend.process_per_client else HostGil(sim)
+
+    llm_ctx = ClientContext(backend, "llm-serving", HostThread(sim, gil=gil),
+                            high_priority=True, kind="inference")
+    llm_client = InferenceClient(
+        sim, llm_ctx, llm_plan, V100_16GB,
+        PoissonArrivals(LLM_RPS, np.random.default_rng(0)),
+        "llm-serving", horizon=DURATION,
+    )
+    be_ctx = ClientContext(backend, "bert-train", HostThread(sim, gil=gil),
+                           kind="training")
+    be_client = TrainingClient(sim, be_ctx, get_plan(BE_MODEL, "training"),
+                               V100_16GB, "bert-train", horizon=DURATION)
+    backend.start()
+    llm_client.start()
+    be_client.start()
+    sim.run(until=DURATION)
+    return llm_client, be_client
+
+
+def main() -> None:
+    rows = []
+    for backend in ("ideal", "orion"):
+        print(f"running {backend} ...")
+        llm_client, be_client = run(backend)
+        latency = summarize_latencies(llm_client.stats.records, after=WARMUP)
+        tokens_per_s = latency.count * 16 / (DURATION - WARMUP)
+        be_tput = throughput(be_client.stats.records, WARMUP, DURATION)
+        rows.append([backend, f"{latency.p50*1e3:.1f}", f"{latency.p99*1e3:.1f}",
+                     f"{tokens_per_s:.0f}", f"{be_tput:.2f}"])
+    print()
+    print("HP = LLM generation (128-token prompt, 16 new tokens, Poisson 8 rps)")
+    print(format_table(
+        ["backend", "p50 (ms)", "p99 (ms)", "tokens/s", "BERT it/s"],
+        rows,
+    ))
+    print()
+    print("Reading: decode kernels are memory-bound, so Orion schedules the "
+          "compute-bound BERT training kernels opposite them; generation "
+          "latency stays near dedicated while the trainer rides along — "
+          "the collocation §7 of the paper proposes.")
+
+
+if __name__ == "__main__":
+    main()

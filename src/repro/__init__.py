@@ -1,0 +1,26 @@
+"""Reproduction of "Orion: Interference-aware, Fine-grained GPU Sharing
+for ML Applications" (EuroSys '24) on a calibrated discrete-event GPU
+simulator.
+
+Public entry points:
+
+* :mod:`repro.core` — the Orion scheduler.
+* :mod:`repro.baselines` — temporal, Streams, MPS, REEF-N, Tick-Tock, Ideal.
+* :mod:`repro.experiments` — configs + runner for every paper table/figure.
+* :mod:`repro.workloads` — the five DNN models, arrival processes, clients.
+* :mod:`repro.gpu` / :mod:`repro.sim` — the simulated device substrate.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import OrionBackend, OrionConfig
+from repro.experiments import ExperimentConfig, JobSpec, run_experiment
+
+__all__ = [
+    "OrionBackend",
+    "OrionConfig",
+    "ExperimentConfig",
+    "JobSpec",
+    "run_experiment",
+    "__version__",
+]

@@ -1,0 +1,69 @@
+"""Temporal sharing baseline (§4, §6.1).
+
+Time-slices the GPU at request/minibatch granularity: one job's request
+runs at a time, with the high-priority job's requests served first
+among waiters.  An arriving high-priority request must still wait for
+any ongoing best-effort iteration to finish — the head-of-line blocking
+the paper identifies as temporal sharing's core weakness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.gpu.device import GpuDevice
+from repro.runtime.backend import Backend, ClientInfo, Op
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+from repro.sim.resources import FifoLock
+
+__all__ = ["TemporalBackend"]
+
+
+class TemporalBackend(Backend):
+    """Request-granularity time slicing with priority."""
+
+    name = "temporal"
+
+    def __init__(self, sim: Simulator, device: GpuDevice):
+        super().__init__(sim)
+        self.device = device
+        self._streams: Dict[str, object] = {}
+        self._gpu_lock = FifoLock(sim)
+        self._holding: Optional[str] = None
+
+    def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
+        info = self._register(client_id, high_priority, kind)
+        self._streams[client_id] = self.device.create_stream(
+            name=f"{client_id}-stream"
+        )
+        return info
+
+    def submit(self, client_id: str, op: Op) -> Signal:
+        # Memory operations (model-state allocation at startup) are
+        # allowed outside a slice; kernels require holding it.
+        if op.is_kernel and self._holding != client_id:
+            raise RuntimeError(
+                f"temporal sharing: client {client_id!r} submitted a kernel "
+                "outside its time slice (begin_request was not awaited)"
+            )
+        return self._streams[client_id].submit(op)
+
+    def begin_request(self, client_id: str) -> Optional[Signal]:
+        info = self.clients[client_id]
+        grant = self._gpu_lock.acquire(priority=info.priority, holder=client_id)
+
+        def on_grant(_sig):
+            self._holding = client_id
+
+        grant.add_callback(on_grant)
+        return grant
+
+    def end_request(self, client_id: str) -> None:
+        if self._holding != client_id:
+            raise RuntimeError(f"end_request from non-holder {client_id!r}")
+        self._holding = None
+        self._gpu_lock.release()
+
+    def devices(self) -> List[GpuDevice]:
+        return [self.device]

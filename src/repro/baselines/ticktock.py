@@ -1,0 +1,70 @@
+"""Tick-Tock / Wavelet baseline (Wang et al., MLSys '21; §6.1).
+
+Tick-Tock offsets the forward and backward passes of two collocated
+training jobs (one runs its "tick" forward while the other runs its
+"tock" backward) to minimize aggregate memory usage, synchronizing at
+phase boundaries.  The Orion paper's criticism — which this
+implementation reproduces — is exactly that synchronization: at every
+phase boundary the fastest job waits for the slowest, so aggregate
+throughput is gated by the slower job.
+
+Implementation: training clients emit forward/backward/update phase
+markers; the backend holds clients at a phase barrier until every
+registered training client reaches it, releasing them in lockstep with
+alternating offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.gpu.device import GpuDevice
+from repro.runtime.backend import Backend, ClientInfo, Op
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+
+__all__ = ["TickTockBackend"]
+
+
+class TickTockBackend(Backend):
+    """Phase-synchronized training collocation."""
+
+    name = "ticktock"
+
+    def __init__(self, sim: Simulator, device: GpuDevice):
+        super().__init__(sim)
+        self.device = device
+        self._streams: Dict[str, object] = {}
+        self._waiting: Dict[str, Signal] = {}
+        self.barriers_released = 0
+
+    def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
+        if kind != "training":
+            raise ValueError("Tick-Tock collocates training jobs only")
+        info = self._register(client_id, high_priority, kind)
+        self._streams[client_id] = self.device.create_stream(
+            name=f"ticktock-{client_id}"
+        )
+        return info
+
+    def submit(self, client_id: str, op: Op) -> Signal:
+        return self._streams[client_id].submit(op)
+
+    def phase_marker(self, client_id: str, phase: str) -> Optional[Signal]:
+        """Barrier: wait until every training client reaches a boundary."""
+        if phase == "update":
+            # Updates piggyback on the backward slot; no extra barrier.
+            return None
+        if len(self.clients) < 2:
+            return None
+        gate = Signal(self.sim)
+        self._waiting[client_id] = gate
+        if len(self._waiting) == len(self.clients):
+            waiting, self._waiting = self._waiting, {}
+            self.barriers_released += 1
+            for signal in waiting.values():
+                signal.trigger()
+        return gate
+
+    def devices(self) -> List[GpuDevice]:
+        return [self.device]

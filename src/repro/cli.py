@@ -1,0 +1,157 @@
+"""Command-line interface: run collocation experiments without writing code.
+
+    python -m repro --help
+    python -m repro inf-train  --hp resnet50 --be mobilenet_v2 --backend orion
+    python -m repro train-train --hp resnet50 --be mobilenet_v2 --backend reef
+    python -m repro inf-inf    --hp resnet101 --be resnet50 --arrivals apollo
+    python -m repro profile    --model bert --kind inference
+
+Prints the per-job latency/throughput summary as a table; ``--json``
+emits machine-readable results instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.registry import (
+    inf_inf_config,
+    inf_train_config,
+    train_train_config,
+)
+from repro.experiments.runner import get_profile, run_experiment
+from repro.experiments.tables import format_table
+from repro.gpu.specs import DEVICES, get_device
+from repro.workloads.models import MODEL_NAMES
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Orion (EuroSys '24) reproduction — collocation experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--hp", required=True, choices=MODEL_NAMES,
+                       help="high-priority model")
+        p.add_argument("--be", required=True, choices=MODEL_NAMES,
+                       help="best-effort model")
+        p.add_argument("--backend", default="orion",
+                       help="sharing technique (orion, reef, mps, streams, "
+                            "priority-streams, temporal, ticktock, ideal)")
+        p.add_argument("--duration", type=float, default=3.0,
+                       help="simulated seconds (default 3.0)")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--device", default="V100-16GB", choices=sorted(DEVICES))
+        p.add_argument("--json", action="store_true",
+                       help="emit JSON instead of a table")
+
+    p = sub.add_parser("inf-train", help="HP inference + BE training (§6.2.1)")
+    add_common(p)
+    p.add_argument("--arrivals", default="poisson",
+                   choices=("poisson", "apollo"))
+
+    p = sub.add_parser("train-train", help="HP training + BE training (§6.2.2)")
+    add_common(p)
+    p.add_argument("--sm-threshold", type=int, default=None,
+                   help="override SM_THRESHOLD (orion only)")
+
+    p = sub.add_parser("inf-inf", help="HP inference + BE inference (§6.2.3)")
+    add_common(p)
+    p.add_argument("--arrivals", default="apollo",
+                   choices=("apollo", "poisson"))
+
+    p = sub.add_parser("profile", help="offline-profile one workload (§5.2)")
+    p.add_argument("--model", required=True, choices=MODEL_NAMES)
+    p.add_argument("--kind", default="inference",
+                   choices=("inference", "training"))
+    p.add_argument("--device", default="V100-16GB", choices=sorted(DEVICES))
+    p.add_argument("--out", default=None, help="write the profile JSON here")
+    p.add_argument("--json", action="store_true")
+    return parser
+
+
+def _experiment_config(args):
+    if args.command == "inf-train":
+        return inf_train_config(args.hp, args.be, args.backend,
+                                arrivals=args.arrivals,
+                                duration=args.duration, seed=args.seed,
+                                device=args.device)
+    if args.command == "train-train":
+        orion = {}
+        if args.sm_threshold is not None:
+            orion["sm_threshold"] = args.sm_threshold
+        return train_train_config(args.hp, args.be, args.backend,
+                                  duration=args.duration, seed=args.seed,
+                                  device=args.device, orion=orion)
+    if args.command == "inf-inf":
+        return inf_inf_config(args.hp, args.be, args.backend,
+                              arrivals=args.arrivals,
+                              duration=args.duration, seed=args.seed,
+                              device=args.device)
+    raise ValueError(f"unhandled command {args.command!r}")
+
+
+def _print_experiment(result, as_json: bool) -> None:
+    if as_json:
+        payload = {
+            name: {
+                "high_priority": job.high_priority,
+                "p50_ms": job.latency.p50 * 1e3,
+                "p99_ms": job.latency.p99 * 1e3,
+                "throughput": job.throughput,
+                "requests": job.latency.count,
+            }
+            for name, job in result.jobs.items()
+        }
+        payload["backend_stats"] = result.backend_stats
+        print(json.dumps(payload, indent=1, default=float))
+        return
+    rows = []
+    for name, job in result.jobs.items():
+        rows.append([
+            name,
+            "HP" if job.high_priority else "BE",
+            f"{job.latency.p50*1e3:.2f}" if job.latency.count else "-",
+            f"{job.latency.p99*1e3:.2f}" if job.latency.count else "-",
+            f"{job.throughput:.2f}",
+        ])
+    print(format_table(["job", "role", "p50 (ms)", "p99 (ms)", "tput/s"], rows))
+    if result.backend_stats:
+        print(f"scheduler: {result.backend_stats}")
+
+
+def _run_profile(args) -> None:
+    profile = get_profile(args.model, args.kind, get_device(args.device))
+    if args.out:
+        profile.save(args.out)
+        print(f"wrote {args.out}")
+    if args.json:
+        print(json.dumps(profile.to_dict(), indent=1))
+        return
+    print(f"{profile.model_name} ({profile.kind}) on {profile.device_name}")
+    print(f"kernels: {len(profile.kernels)}   "
+          f"solo request latency: {profile.request_latency*1e3:.2f} ms")
+    classes = {}
+    for k in profile.kernels.values():
+        classes[k.profile.value] = classes.get(k.profile.value, 0) + 1
+    print(f"classes: {classes}")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "profile":
+        _run_profile(args)
+        return 0
+    result = run_experiment(_experiment_config(args))
+    _print_experiment(result, args.json)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

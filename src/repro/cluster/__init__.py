@@ -1,0 +1,19 @@
+"""Cluster-manager co-design (paper §7): interference-aware placement."""
+
+from .placement import (
+    JobSignature,
+    Placement,
+    pair_interference,
+    plan_placement,
+    placement_summary,
+    signature_of,
+)
+
+__all__ = [
+    "JobSignature",
+    "Placement",
+    "signature_of",
+    "pair_interference",
+    "plan_placement",
+    "placement_summary",
+]

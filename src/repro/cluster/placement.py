@@ -1,0 +1,138 @@
+"""Interference-aware cluster placement (paper §7 co-design extension).
+
+The discussion section proposes that a cluster manager use each job's
+compute/memory kernel profiles to place jobs with *complementary*
+resource profiles on the same GPU.  This module implements that
+proposal on top of the offline profiles:
+
+1. Each job gets a demand *signature* — its time-weighted compute and
+   memory-bandwidth utilization over one request/iteration.
+2. Pairwise interference is estimated as the cosine similarity of the
+   signatures weighted by their combined load (the same quantity the
+   device contention model penalizes).
+3. A greedy matcher packs the job list onto GPUs, always pairing the
+   currently heaviest unplaced job with its most complementary partner.
+
+The output names which jobs share each GPU and predicts the
+interference score, so a scheduler like Orion runs where it helps most.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.profiler.profiles import ModelProfile
+
+__all__ = ["JobSignature", "signature_of", "pair_interference",
+           "plan_placement", "Placement"]
+
+
+@dataclass(frozen=True)
+class JobSignature:
+    """Time-weighted resource demand of one job."""
+
+    name: str
+    compute: float
+    memory: float
+    busy_time: float  # seconds of kernel time per request/iteration
+
+    @property
+    def magnitude(self) -> float:
+        return math.hypot(self.compute, self.memory)
+
+
+def signature_of(profile: ModelProfile, name: Optional[str] = None) -> JobSignature:
+    """Aggregate a model profile into a demand signature."""
+    kernels = list(profile.kernels.values())
+    if not kernels:
+        raise ValueError(f"profile {profile.model_name!r} has no kernels")
+    total = sum(k.duration for k in kernels)
+    compute = sum(k.compute_util * k.duration for k in kernels) / total
+    memory = sum(k.memory_util * k.duration for k in kernels) / total
+    return JobSignature(
+        name=name or f"{profile.model_name}:{profile.kind}",
+        compute=compute,
+        memory=memory,
+        busy_time=total,
+    )
+
+
+def pair_interference(a: JobSignature, b: JobSignature) -> float:
+    """Predicted interference of collocating two jobs (0 = free, 1 = worst).
+
+    Cosine similarity of the demand vectors, scaled by how much combined
+    load the pair brings: two similar but tiny jobs still share fine.
+    """
+    if a.magnitude == 0 or b.magnitude == 0:
+        return 0.0
+    cosine = (a.compute * b.compute + a.memory * b.memory) / (
+        a.magnitude * b.magnitude
+    )
+    load = min(1.0, (a.compute + b.compute + a.memory + b.memory) / 2.0)
+    return cosine * load
+
+
+@dataclass
+class Placement:
+    """One GPU's job set with its predicted interference."""
+
+    gpu: int
+    jobs: List[JobSignature]
+    interference: float
+
+
+def plan_placement(jobs: Sequence[JobSignature], num_gpus: int,
+                   max_per_gpu: int = 2) -> List[Placement]:
+    """Greedy complementary-pair packing.
+
+    Heaviest job first; each is paired with the unplaced job that
+    minimizes predicted interference, until GPUs or jobs run out.
+    Raises if the jobs cannot fit in ``num_gpus * max_per_gpu`` slots.
+    """
+    if num_gpus < 1 or max_per_gpu < 1:
+        raise ValueError("need at least one GPU slot")
+    if len(jobs) > num_gpus * max_per_gpu:
+        raise ValueError(
+            f"{len(jobs)} jobs do not fit on {num_gpus} GPUs "
+            f"x {max_per_gpu} slots"
+        )
+    remaining = sorted(jobs, key=lambda j: j.magnitude, reverse=True)
+    placements: List[Placement] = []
+    gpu = 0
+    while remaining and gpu < num_gpus:
+        anchor = remaining.pop(0)
+        group = [anchor]
+        # Fill the GPU with the most complementary partners, unless
+        # leaving them for an empty GPU is strictly better (interference
+        # zero) and there is room.
+        gpus_left_after = num_gpus - gpu - 1
+        while len(group) < max_per_gpu and remaining:
+            if gpus_left_after * max_per_gpu >= len(remaining):
+                # Everything left fits on fresh GPUs; stop packing.
+                break
+            best_index = min(
+                range(len(remaining)),
+                key=lambda i: pair_interference(anchor, remaining[i]),
+            )
+            group.append(remaining.pop(best_index))
+        interference = 0.0
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                interference = max(interference, pair_interference(a, b))
+        placements.append(Placement(gpu=gpu, jobs=group,
+                                    interference=interference))
+        gpu += 1
+    if remaining:
+        raise ValueError("ran out of GPUs while jobs remain (internal error)")
+    return placements
+
+
+def placement_summary(placements: List[Placement]) -> List[Tuple[int, str, float]]:
+    """(gpu, 'job+job', interference) rows for display."""
+    rows = []
+    for p in placements:
+        rows.append((p.gpu, " + ".join(j.name for j in p.jobs),
+                     round(p.interference, 3)))
+    return rows

@@ -1,0 +1,24 @@
+"""Orion: the interference-aware, fine-grained GPU scheduler (paper §5)."""
+
+from .autotune import SmThresholdTuner, TunerConfig
+from .policy import (
+    DEFAULT_DUR_THRESHOLD_FRAC,
+    PolicyConfig,
+    duration_throttled,
+    have_different_profiles,
+    schedule_be,
+)
+from .scheduler import ORION_INTERCEPTION_OVERHEAD, OrionBackend, OrionConfig
+
+__all__ = [
+    "OrionBackend",
+    "OrionConfig",
+    "ORION_INTERCEPTION_OVERHEAD",
+    "PolicyConfig",
+    "schedule_be",
+    "duration_throttled",
+    "have_different_profiles",
+    "DEFAULT_DUR_THRESHOLD_FRAC",
+    "SmThresholdTuner",
+    "TunerConfig",
+]

@@ -1,0 +1,113 @@
+"""Dynamic SM_THRESHOLD tuning (paper §5.1.1).
+
+For throughput-oriented high-priority jobs (training), Orion can raise
+SM_THRESHOLD for more aggressive collocation.  The paper tunes by
+binary search: monitor high-priority throughput over a window; the
+search range is [0, max SMs needed by any best-effort kernel].  A
+candidate threshold is kept when high-priority throughput stays within
+a tolerance of its dedicated-GPU throughput, otherwise the range
+shrinks downward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.profiler.profiles import ProfileStore
+from repro.sim.engine import Simulator
+from repro.sim.process import Timeout, spawn
+
+from .scheduler import OrionBackend
+
+__all__ = ["SmThresholdTuner", "TunerConfig"]
+
+
+@dataclass
+class TunerConfig:
+    """Binary-search tuning parameters."""
+
+    # HP throughput must stay above (1 - tolerance) x dedicated.
+    tolerance: float = 0.16
+    # Measurement window per search step (seconds of simulated time).
+    window: float = 1.0
+
+    def __post_init__(self):
+        if not (0 < self.tolerance < 1):
+            raise ValueError("tolerance must be in (0, 1)")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+
+
+@dataclass
+class TunerStep:
+    """One binary-search step, recorded for inspection."""
+
+    threshold: int
+    hp_throughput: float
+    accepted: bool
+
+
+class SmThresholdTuner:
+    """Binary-searches SM_THRESHOLD while the workload runs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        backend: OrionBackend,
+        dedicated_hp_throughput: float,
+        be_max_sm: Optional[int] = None,
+        profiles: Optional[ProfileStore] = None,
+        config: TunerConfig = TunerConfig(),
+    ):
+        if dedicated_hp_throughput <= 0:
+            raise ValueError("dedicated_hp_throughput must be positive")
+        self.sim = sim
+        self.backend = backend
+        self.config = config
+        self.target = (1.0 - config.tolerance) * dedicated_hp_throughput
+        if be_max_sm is None:
+            be_max_sm = self._max_be_sm(profiles, backend)
+        # The policy's SM rule is a strict inequality (sm_needed <
+        # SM_THRESHOLD), so searching up to max+1 makes the largest
+        # best-effort kernel admissible at the top of the range.
+        self.be_max_sm = be_max_sm + 1
+        self.history: List[TunerStep] = []
+        self.final_threshold: Optional[int] = None
+        self._hp_completed_at_window_start = 0
+
+    @staticmethod
+    def _max_be_sm(profiles: Optional[ProfileStore], backend: OrionBackend) -> int:
+        if profiles is None:
+            return backend.device.spec.num_sms
+        max_sm = 0
+        for client_id, info in backend.clients.items():
+            if info.high_priority:
+                continue
+        # Without client->model mapping, fall back to the global store.
+        for kernel in getattr(profiles, "_kernels", {}).values():
+            max_sm = max(max_sm, kernel.sm_needed)
+        return max_sm or backend.device.spec.num_sms
+
+    def start(self) -> None:
+        spawn(self.sim, self._tune_loop(), "sm-threshold-tuner")
+
+    def _hp_throughput_since(self, count_before: int, window: float) -> float:
+        return (self.backend.hp_requests_completed - count_before) / window
+
+    def _tune_loop(self):
+        lo, hi = 0, self.be_max_sm
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            self.backend.config.sm_threshold = mid
+            before = self.backend.hp_requests_completed
+            yield Timeout(self.config.window)
+            throughput = self._hp_throughput_since(before, self.config.window)
+            accepted = throughput >= self.target
+            self.history.append(TunerStep(mid, throughput, accepted))
+            if accepted:
+                lo = mid
+            else:
+                hi = mid - 1
+        self.final_threshold = lo
+        self.backend.config.sm_threshold = max(lo, 1)

@@ -1,0 +1,331 @@
+"""The Orion scheduler backend (paper §5, Listing 1).
+
+Clients' GPU operations are intercepted into per-client software
+queues.  A scheduler process drains them:
+
+* high-priority kernels are forwarded immediately to a dedicated
+  high-priority CUDA stream;
+* best-effort kernels are admitted round-robin, only when the policy in
+  :mod:`repro.core.policy` allows: the kernel is small enough
+  (SM_THRESHOLD), has the opposite compute/memory profile to the
+  current high-priority kernel, and the outstanding best-effort
+  pipeline is under the DUR_THRESHOLD budget — tracked with CUDA
+  events, never with blocking synchronization (§5.1.2);
+* memory operations bypass the kernel policy and go straight to the
+  device (§5.1.3); their blocking semantics are enforced by the device
+  model itself.
+
+All decisions use *profiled* kernel characteristics from the offline
+profiling phase (§5.2), not simulator ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.gpu.cuda_events import CudaEvent
+from repro.gpu.device import GpuDevice
+from repro.kernels.kernel import KernelOp, MemoryOp, ResourceProfile
+from repro.profiler.profiles import KernelProfile, ProfileStore
+from repro.runtime.backend import Backend, ClientInfo, Op, SoftwareQueue
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal, spawn
+
+from .policy import PolicyConfig, duration_throttled, schedule_be
+
+__all__ = ["OrionBackend", "OrionConfig"]
+
+# HP request latency assumed before the first profile/measurement lands.
+_FALLBACK_HP_LATENCY = 10e-3
+# Per-op interception cost of Orion's wrappers (<1% overhead, §6.5).
+ORION_INTERCEPTION_OVERHEAD = 0.4e-6
+
+
+class OrionConfig(PolicyConfig):
+    """Policy config plus scheduler-level settings.
+
+    ``manage_pcie`` enables the §5.1.3 extension: best-effort
+    host<->device copies are held in the software queue while a
+    high-priority transfer occupies the PCIe bus, so the latency-
+    critical job's copies get the full bus bandwidth.
+    """
+
+    def __init__(self, hp_request_latency: Optional[float] = None,
+                 manage_pcie: bool = False, **kwargs):
+        super().__init__(**kwargs)
+        self.hp_request_latency = hp_request_latency
+        self.manage_pcie = manage_pcie
+
+
+class _BeClientState:
+    """Per-best-effort-client scheduling state."""
+
+    __slots__ = ("queue", "stream", "event", "outstanding")
+
+    def __init__(self, queue: SoftwareQueue, stream):
+        self.queue = queue
+        self.stream = stream
+        self.event = CudaEvent()
+        self.outstanding = 0.0  # expected seconds of submitted-unfinished work
+
+
+class OrionBackend(Backend):
+    """Fine-grained, interference-aware GPU scheduler."""
+
+    name = "orion"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        device: GpuDevice,
+        profiles: ProfileStore,
+        config: Optional[OrionConfig] = None,
+    ):
+        super().__init__(sim)
+        self.device = device
+        self.profiles = profiles
+        self.config = config or OrionConfig()
+        self._hp_queue: Optional[SoftwareQueue] = None
+        self._hp_stream = None
+        self._hp_client_id: Optional[str] = None
+        self._be: Dict[str, _BeClientState] = {}
+        self._be_order: List[str] = []
+        self._rr_index = 0
+        self._current_hp: Optional[KernelOp] = None
+        self._wake = Signal(sim)
+        self._started = False
+        # EWMA of observed HP request latency (used when no profiled
+        # latency was supplied).
+        self._hp_latency_ewma: Optional[float] = None
+        self._hp_request_started_at: Optional[float] = None
+        # Counters for tests/telemetry.
+        self.be_kernels_launched = 0
+        self.be_kernels_deferred = 0
+        self.profile_misses = 0
+        self.hp_requests_completed = 0
+        self._hp_transfers_active = 0
+
+    # ------------------------------------------------------------------
+    # Backend interface
+    # ------------------------------------------------------------------
+    def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
+        info = self._register(client_id, high_priority, kind)
+        if high_priority:
+            if self._hp_queue is not None:
+                raise ValueError("Orion supports exactly one high-priority client")
+            priority = 1 if self.config.use_stream_priorities else 0
+            self._hp_stream = self.device.create_stream(priority=priority,
+                                                        name="orion-hp")
+            self._hp_queue = SoftwareQueue(self.sim, client_id)
+            self._hp_client_id = client_id
+        else:
+            stream = self.device.create_stream(priority=0, name=f"orion-be-{client_id}")
+            state = _BeClientState(SoftwareQueue(self.sim, client_id), stream)
+            self._be[client_id] = state
+            self._be_order.append(client_id)
+        return info
+
+    def devices(self) -> List[GpuDevice]:
+        return [self.device]
+
+    def interception_overhead(self) -> float:
+        return ORION_INTERCEPTION_OVERHEAD
+
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            spawn(self.sim, self._run_scheduler(), "orion-scheduler")
+
+    def submit(self, client_id: str, op: Op) -> Signal:
+        info = self.clients[client_id]
+        if isinstance(op, MemoryOp):
+            # With PCIe management on, best-effort transfers go through
+            # the software queue so the scheduler can keep the bus clear
+            # for high-priority copies (§5.1.3 extension).
+            if (self.config.manage_pcie and not info.high_priority
+                    and op.kind.is_transfer):
+                done = self._be[client_id].queue.push(op)
+                self._wake_scheduler()
+                return done
+            # Otherwise memory ops bypass the kernel policy.  Their
+            # completion still wakes the scheduler: a request's trailing
+            # D2H copy is often the op whose completion opens the
+            # HP-idle window best-effort kernels are waiting for.
+            done = self._memory_stream_for(client_id, info).submit(op)
+            if info.high_priority and op.kind.is_transfer:
+                self._hp_transfers_active += 1
+                done.add_callback(lambda _sig: self._hp_transfer_done())
+            self._watch_stream(done)
+            return done
+        if info.high_priority:
+            done = self._hp_queue.push(op)
+        else:
+            done = self._be[client_id].queue.push(op)
+        self._wake_scheduler()
+        return done
+
+    def begin_request(self, client_id: str) -> Optional[Signal]:
+        if client_id == self._hp_client_id:
+            self._hp_request_started_at = self.sim.now
+        return None
+
+    def end_request(self, client_id: str) -> None:
+        if client_id == self._hp_client_id and self._hp_request_started_at is not None:
+            observed = self.sim.now - self._hp_request_started_at
+            if self._hp_latency_ewma is None:
+                self._hp_latency_ewma = observed
+            else:
+                self._hp_latency_ewma = 0.8 * self._hp_latency_ewma + 0.2 * observed
+            self._hp_request_started_at = None
+            self.hp_requests_completed += 1
+
+    # ------------------------------------------------------------------
+    # Scheduler internals
+    # ------------------------------------------------------------------
+    def _memory_stream_for(self, client_id: str, info: ClientInfo):
+        if info.high_priority:
+            return self._hp_stream
+        return self._be[client_id].stream
+
+    def _wake_scheduler(self) -> None:
+        if not self._wake.triggered:
+            self._wake.trigger()
+
+    @property
+    def hp_task_running(self) -> bool:
+        if self._hp_queue is None:
+            return False
+        return bool(self._hp_queue) or self._hp_stream.busy
+
+    @property
+    def hp_request_latency(self) -> float:
+        if self.config.hp_request_latency is not None:
+            return self.config.hp_request_latency
+        if self._hp_latency_ewma is not None:
+            return self._hp_latency_ewma
+        return _FALLBACK_HP_LATENCY
+
+    @property
+    def sm_threshold(self) -> int:
+        if self.config.sm_threshold is not None:
+            return self.config.sm_threshold
+        return self.device.spec.num_sms
+
+    def _be_profile(self, op: KernelOp) -> KernelProfile:
+        profile = self.profiles.lookup(op.spec.name)
+        if profile is not None:
+            return profile
+        # Unprofiled kernel: be conservative — treat as unknown profile
+        # with its static launch footprint and a pessimistic duration.
+        self.profile_misses += 1
+        return KernelProfile(
+            kernel_id=op.spec.name,
+            duration=op.duration,
+            compute_util=op.compute_util,
+            memory_util=op.memory_util,
+            sm_needed=op.sm_needed,
+            profile=ResourceProfile.UNKNOWN,
+        )
+
+    def _total_outstanding(self) -> float:
+        return sum(state.outstanding for state in self._be.values())
+
+    def _current_hp_profile(self) -> Optional[ResourceProfile]:
+        """Profile of the HP kernel executing (or next to execute) now.
+
+        The framework submits HP kernels in bursts well ahead of the
+        GPU, so the *last submitted* kernel is a poor proxy for what is
+        on the SMs; the in-flight stream op is the right reference for
+        the opposite-profile check.
+        """
+        if self._hp_stream is None:
+            return None
+        in_flight = self._hp_stream.in_flight
+        if in_flight is not None and isinstance(in_flight.op, KernelOp):
+            return in_flight.op.profile
+        for stream_op in self._hp_stream.queue:
+            if isinstance(stream_op.op, KernelOp):
+                return stream_op.op.profile
+        if self._current_hp is not None:
+            return self._current_hp.profile
+        return None
+
+    def _run_scheduler(self):
+        """Listing 1's run_scheduler, event-driven instead of busy-polling."""
+        while True:
+            progressed = True
+            while progressed:
+                progressed = False
+                # High-priority ops: forward immediately, in order.
+                while self._hp_queue is not None and len(self._hp_queue):
+                    op, done = self._hp_queue.pop()
+                    inner = self._hp_stream.submit(op)
+                    self._chain(inner, done)
+                    self._current_hp = op
+                    self._watch_stream(inner)
+                    progressed = True
+                # Best-effort clients: round-robin.
+                for offset in range(len(self._be_order)):
+                    client_id = self._be_order[(self._rr_index + offset)
+                                               % len(self._be_order)]
+                    if self._try_launch_be(client_id):
+                        self._rr_index = (self._rr_index + offset + 1) \
+                            % len(self._be_order)
+                        progressed = True
+            # Sleep until new work or a completion changes the world.
+            self._wake = Signal(self.sim)
+            yield self._wake
+
+    def _hp_transfer_done(self) -> None:
+        self._hp_transfers_active -= 1
+        self._wake_scheduler()
+
+    def _try_launch_be(self, client_id: str) -> bool:
+        state = self._be[client_id]
+        op = state.queue.peek()
+        if op is None:
+            return False
+        if isinstance(op, MemoryOp):
+            # PCIe management: hold BE transfers while an HP transfer
+            # owns the bus; submit directly otherwise.
+            if self._hp_transfers_active > 0:
+                self.be_kernels_deferred += 1
+                return False
+            op, done = state.queue.pop()
+            inner = state.stream.submit(op)
+            self._chain(inner, done)
+            self._watch_stream(inner)
+            return True
+        be_profile = self._be_profile(op)
+        # Duration throttle (Listing 1 lines 12-16), accounted per
+        # best-effort client as in the listing: reset the budget when
+        # this client's recorded CUDA event shows its pipeline drained.
+        if state.outstanding > 0 and state.event.query():
+            state.outstanding = 0.0
+        if duration_throttled(state.outstanding, self.hp_request_latency,
+                              self.config,
+                              candidate_duration=be_profile.duration,
+                              hp_task_running=self.hp_task_running):
+            self.be_kernels_deferred += 1
+            return False
+        hp_profile = self._current_hp_profile()
+        if not schedule_be(self.hp_task_running, hp_profile, be_profile,
+                           self.sm_threshold, self.config):
+            self.be_kernels_deferred += 1
+            return False
+        op, done = state.queue.pop()
+        inner = state.stream.submit(op)
+        self._chain(inner, done)
+        state.outstanding += be_profile.duration
+        state.event.record(state.stream)
+        self._watch_stream(inner)
+        self.be_kernels_launched += 1
+        return True
+
+    def _chain(self, inner: Signal, outer: Signal) -> None:
+        """Forward the stream's completion to the client's signal."""
+        inner.add_callback(lambda sig: outer.trigger(sig.value))
+
+    def _watch_stream(self, done: Signal) -> None:
+        """Re-evaluate the policy when a submitted op completes."""
+        done.add_callback(lambda _sig: self._wake_scheduler())

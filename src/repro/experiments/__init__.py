@@ -1,0 +1,38 @@
+"""Experiment harness: configs, runner, catalog, table formatting."""
+
+from .config import ExperimentConfig, JobSpec
+from .registry import (
+    inf_inf_config,
+    inf_train_config,
+    multi_client_config,
+    solo_inference_config,
+    train_train_config,
+)
+from .runner import (
+    ExperimentResult,
+    JobResult,
+    get_profile,
+    run_experiment,
+    solo_latency_summary,
+    solo_throughput,
+)
+from .tables import format_series, format_table, ratio
+
+__all__ = [
+    "ExperimentConfig",
+    "JobSpec",
+    "run_experiment",
+    "ExperimentResult",
+    "JobResult",
+    "get_profile",
+    "solo_throughput",
+    "solo_latency_summary",
+    "inf_train_config",
+    "train_train_config",
+    "inf_inf_config",
+    "multi_client_config",
+    "solo_inference_config",
+    "format_table",
+    "format_series",
+    "ratio",
+]

@@ -1,0 +1,106 @@
+"""Experiment catalog: config builders for every paper scenario.
+
+Each builder returns an :class:`ExperimentConfig` for one (workload
+pair, backend) cell of a figure.  Rates come from Table 3; batch sizes
+from Table 1 (via the model zoo defaults).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.workloads.rates import rps_for
+
+from .config import ExperimentConfig, JobSpec
+
+__all__ = [
+    "inf_train_config",
+    "train_train_config",
+    "inf_inf_config",
+    "multi_client_config",
+    "solo_inference_config",
+]
+
+DEFAULT_DURATION = 4.0
+DEFAULT_WARMUP = 0.5
+
+
+def inf_train_config(hp_model: str, be_model: str, backend: str,
+                     arrivals: str = "poisson",
+                     duration: float = DEFAULT_DURATION,
+                     seed: int = 0, **kwargs) -> ExperimentConfig:
+    """§6.2.1: HP latency-sensitive inference + BE training."""
+    rps = rps_for(hp_model, "inf_train_poisson")
+    hp = JobSpec(model=hp_model, kind="inference", high_priority=True,
+                 arrivals=arrivals, rps=rps if arrivals == "poisson" else 0.0)
+    be = JobSpec(model=be_model, kind="training", high_priority=False)
+    return ExperimentConfig(jobs=[hp, be], backend=backend, duration=duration,
+                            warmup=DEFAULT_WARMUP, seed=seed, **kwargs)
+
+
+def train_train_config(hp_model: str, be_model: str, backend: str,
+                       duration: float = DEFAULT_DURATION,
+                       seed: int = 0, **kwargs) -> ExperimentConfig:
+    """§6.2.2: HP training + BE training, both closed loop."""
+    hp = JobSpec(model=hp_model, kind="training", high_priority=True)
+    be = JobSpec(model=be_model, kind="training", high_priority=False)
+    return ExperimentConfig(jobs=[hp, be], backend=backend, duration=duration,
+                            warmup=DEFAULT_WARMUP, seed=seed, **kwargs)
+
+
+def inf_inf_config(hp_model: str, be_model: str, backend: str,
+                   arrivals: str = "apollo",
+                   duration: float = DEFAULT_DURATION,
+                   seed: int = 0, **kwargs) -> ExperimentConfig:
+    """§6.2.3: HP inference + BE offline inference.
+
+    Apollo scenario: HP replays the (synthetic) Apollo trace, BE uses
+    uniform arrivals at the Table 3 uniform rate.  Poisson scenario:
+    both Poisson at the Table 3 Poisson rates.
+    """
+    if arrivals == "apollo":
+        hp = JobSpec(model=hp_model, kind="inference", high_priority=True,
+                     arrivals="apollo")
+        be = JobSpec(model=be_model, kind="inference", high_priority=False,
+                     arrivals="uniform", rps=rps_for(be_model, "inf_inf_uniform"))
+    elif arrivals == "poisson":
+        hp = JobSpec(model=hp_model, kind="inference", high_priority=True,
+                     arrivals="poisson", rps=rps_for(hp_model, "inf_inf_poisson"))
+        be = JobSpec(model=be_model, kind="inference", high_priority=False,
+                     arrivals="poisson", rps=rps_for(be_model, "inf_inf_poisson"))
+    else:
+        raise ValueError(f"inf-inf arrivals must be apollo|poisson, got {arrivals!r}")
+    return ExperimentConfig(jobs=[hp, be], backend=backend, duration=duration,
+                            warmup=DEFAULT_WARMUP, seed=seed, **kwargs)
+
+
+def multi_client_config(hp_model: str, be_models: Sequence[str], backend: str,
+                        device: str = "A100-40GB",
+                        duration: float = DEFAULT_DURATION,
+                        seed: int = 0, **kwargs) -> ExperimentConfig:
+    """§6.3: one HP inference client + N BE inference clients (Figure 13)."""
+    jobs: List[JobSpec] = [
+        JobSpec(model=hp_model, kind="inference", high_priority=True,
+                arrivals="poisson", rps=rps_for(hp_model, "inf_inf_poisson"))
+    ]
+    for index, model in enumerate(be_models):
+        jobs.append(
+            JobSpec(model=model, kind="inference", high_priority=False,
+                    arrivals="poisson", rps=rps_for(model, "inf_inf_poisson"),
+                    name=f"be{index}-{model}")
+        )
+    return ExperimentConfig(jobs=jobs, backend=backend, device=device,
+                            duration=duration, warmup=DEFAULT_WARMUP,
+                            seed=seed, **kwargs)
+
+
+def solo_inference_config(model: str, rps: Optional[float] = None,
+                          arrivals: str = "uniform",
+                          duration: float = DEFAULT_DURATION,
+                          seed: int = 0, **kwargs) -> ExperimentConfig:
+    """A single inference job on a dedicated GPU (Figures 8a/9a)."""
+    job = JobSpec(model=model, kind="inference", high_priority=True,
+                  arrivals=arrivals,
+                  rps=rps if rps is not None else 0.0)
+    return ExperimentConfig(jobs=[job], backend="ideal", duration=duration,
+                            warmup=DEFAULT_WARMUP, seed=seed, **kwargs)

@@ -1,0 +1,231 @@
+"""Experiment runner: builds the simulator, backend, and clients; runs;
+collects per-job latency/throughput and device utilization.
+
+This is the harness behind every figure/table reproduction.  Offline
+profiles (the §5.2 phase) are computed once per (model, kind, device)
+and cached across experiments, exactly as a real deployment would reuse
+profile files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines import (
+    DedicatedBackend,
+    MpsBackend,
+    PriorityStreamsBackend,
+    ReefBackend,
+    StreamsBackend,
+    TemporalBackend,
+    TickTockBackend,
+)
+from repro.core import OrionBackend, OrionConfig
+from repro.frameworks.lowering import OpPlan
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import DeviceSpec, get_device
+from repro.metrics.latency import LatencySummary, summarize_latencies
+from repro.metrics.throughput import throughput as throughput_of
+from repro.metrics.utilization import UtilizationAverages, average_utilization
+from repro.profiler.nsight import profile_plan
+from repro.profiler.profiles import ModelProfile, ProfileStore
+from repro.runtime.backend import Backend
+from repro.runtime.client import ClientContext
+from repro.runtime.host import HostGil, HostThread
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.workloads.apollo import apollo_trace
+from repro.workloads.arrivals import (
+    ClosedLoop,
+    PoissonArrivals,
+    TraceArrivals,
+    UniformArrivals,
+)
+from repro.workloads.clients import ClientStats, InferenceClient, TrainingClient
+from repro.workloads.models import get_plan
+
+from .config import ExperimentConfig, JobSpec
+
+__all__ = ["run_experiment", "ExperimentResult", "JobResult", "get_profile",
+           "solo_throughput", "solo_latency_summary"]
+
+# (model, kind, batch, device) -> ModelProfile; offline profiles are
+# deterministic, so sharing them across experiments is sound.
+_PROFILE_CACHE: Dict[tuple, ModelProfile] = {}
+
+
+def get_profile(model: str, kind: str, device_spec: DeviceSpec,
+                batch_size: int = 0) -> ModelProfile:
+    key = (model, kind, batch_size, device_spec.name)
+    if key not in _PROFILE_CACHE:
+        plan = get_plan(model, kind, batch_size)
+        _PROFILE_CACHE[key] = profile_plan(plan, device_spec)
+    return _PROFILE_CACHE[key]
+
+
+@dataclass
+class JobResult:
+    """Per-job outcome of one experiment."""
+
+    name: str
+    model: str
+    kind: str
+    high_priority: bool
+    latency: LatencySummary
+    throughput: float
+    stats: ClientStats
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment run produced."""
+
+    config: ExperimentConfig
+    jobs: Dict[str, JobResult]
+    utilization: Optional[UtilizationAverages] = None
+    utilization_segments: List = field(default_factory=list)
+    backend_stats: Dict = field(default_factory=dict)
+
+    @property
+    def hp_job(self) -> JobResult:
+        for job in self.jobs.values():
+            if job.high_priority:
+                return job
+        raise KeyError("no high-priority job in this experiment")
+
+    def be_jobs(self) -> List[JobResult]:
+        return [j for j in self.jobs.values() if not j.high_priority]
+
+    @property
+    def aggregate_throughput(self) -> float:
+        return sum(j.throughput for j in self.jobs.values())
+
+
+def _make_backend(config: ExperimentConfig, sim: Simulator,
+                  device_spec: DeviceSpec, store: ProfileStore,
+                  hp_latency: Optional[float]) -> Backend:
+    def device_factory() -> GpuDevice:
+        return GpuDevice(sim, device_spec,
+                         record_utilization=config.record_utilization)
+
+    name = config.backend
+    if name == "ideal":
+        return DedicatedBackend(sim, device_factory)
+    device = device_factory()
+    if name == "temporal":
+        return TemporalBackend(sim, device)
+    if name == "streams":
+        return StreamsBackend(sim, device)
+    if name == "priority-streams":
+        return PriorityStreamsBackend(sim, device)
+    if name == "mps":
+        return MpsBackend(sim, device)
+    if name == "reef":
+        return ReefBackend(sim, device)
+    if name == "ticktock":
+        return TickTockBackend(sim, device)
+    if name == "orion":
+        orion_kwargs = dict(config.orion)
+        orion_kwargs.setdefault("hp_request_latency", hp_latency)
+        return OrionBackend(sim, device, store, OrionConfig(**orion_kwargs))
+    raise ValueError(f"unknown backend {name!r}")
+
+
+def _make_arrivals(job: JobSpec, config: ExperimentConfig, rng_factory: RngFactory):
+    if job.arrivals == "closed":
+        return ClosedLoop()
+    if job.arrivals == "uniform":
+        return UniformArrivals(job.rps)
+    if job.arrivals == "poisson":
+        return PoissonArrivals(job.rps, rng_factory.stream(f"poisson:{job.name}"))
+    if job.arrivals == "apollo":
+        from repro.sim.rng import substream_seed
+
+        trace = apollo_trace(config.duration,
+                             seed=substream_seed(config.seed, f"apollo:{job.name}"))
+        return TraceArrivals(trace)
+    raise ValueError(f"unknown arrival kind {job.arrivals!r}")
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run one collocation experiment end to end."""
+    sim = Simulator()
+    device_spec = get_device(config.device)
+    rng_factory = RngFactory(config.seed)
+
+    # Offline profiling phase (cached across runs).
+    store = ProfileStore()
+    hp_latency: Optional[float] = None
+    for job in config.jobs:
+        profile = get_profile(job.model, job.kind, device_spec, job.batch_size)
+        store.add(profile)
+        if job.high_priority:
+            hp_latency = profile.request_latency
+
+    backend = _make_backend(config, sim, device_spec, store, hp_latency)
+
+    shared_gil = None if backend.process_per_client else HostGil(sim)
+    clients = []
+    for job in config.jobs:
+        host = HostThread(
+            sim,
+            gil=shared_gil,
+            interception_overhead=backend.interception_overhead(),
+        )
+        ctx = ClientContext(backend, job.name, host,
+                            high_priority=job.high_priority, kind=job.kind)
+        plan = get_plan(job.model, job.kind, job.batch_size)
+        if job.kind == "training":
+            client = TrainingClient(sim, ctx, plan, device_spec, job.name,
+                                    horizon=config.duration)
+        else:
+            arrivals = _make_arrivals(job, config, rng_factory)
+            client = InferenceClient(sim, ctx, plan, device_spec, arrivals,
+                                     job.name, horizon=config.duration)
+        clients.append((job, client))
+
+    backend.start()
+    for _job, client in clients:
+        client.start()
+    sim.run(until=config.duration)
+
+    jobs: Dict[str, JobResult] = {}
+    for job, client in clients:
+        records = client.stats.records
+        latency = summarize_latencies(records, after=config.warmup)
+        tput = throughput_of(records, config.warmup, config.duration)
+        jobs[job.name] = JobResult(job.name, job.model, job.kind,
+                                   job.high_priority, latency, tput,
+                                   client.stats)
+
+    result = ExperimentResult(config=config, jobs=jobs)
+    if config.record_utilization:
+        segments = []
+        for device in backend.devices():
+            segments.extend(device.utilization_segments)
+        result.utilization_segments = segments
+        result.utilization = average_utilization(segments, config.warmup,
+                                                 config.duration)
+    if isinstance(backend, OrionBackend):
+        result.backend_stats = {
+            "be_kernels_launched": backend.be_kernels_launched,
+            "be_kernels_deferred": backend.be_kernels_deferred,
+            "profile_misses": backend.profile_misses,
+            "sm_threshold": backend.sm_threshold,
+        }
+    return result
+
+
+def solo_throughput(model: str, kind: str, device: str = "V100-16GB",
+                    batch_size: int = 0) -> float:
+    """Dedicated-GPU throughput (1 / solo request latency)."""
+    profile = get_profile(model, kind, get_device(device), batch_size)
+    return 1.0 / profile.request_latency
+
+
+def solo_latency_summary(model: str, device: str = "V100-16GB",
+                         batch_size: int = 0) -> float:
+    """Dedicated-GPU inference request latency (the Ideal reference)."""
+    profile = get_profile(model, "inference", get_device(device), batch_size)
+    return profile.request_latency

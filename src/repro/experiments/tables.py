@@ -1,0 +1,62 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and readable in
+pytest output and in the EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_series", "ratio"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Fixed-width text table."""
+    str_rows: List[List[str]] = [[_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}: {row}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence,
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Figure series as aligned (x, y) pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("series lengths differ")
+    lines = [f"# {name}: {x_label} -> {y_label}"]
+    lines.extend(f"{_cell(x):>12}  {_cell(y)}" for x, y in zip(xs, ys))
+    return "\n".join(lines)
+
+
+def ratio(value: float, reference: float) -> float:
+    """value / reference with a helpful error for degenerate references."""
+    if reference <= 0:
+        raise ValueError(f"reference must be positive, got {reference}")
+    return value / reference
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)

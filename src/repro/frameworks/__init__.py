@@ -1,0 +1,17 @@
+"""Mini DNN framework ("torchsim"): modules, layers, lowering to kernel plans."""
+
+from .lowering import OpPlan, PlannedOp, instantiate_plan, lower_inference, lower_training
+from .module import Built, Module, Namer, Residual, Sequential
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "Residual",
+    "Built",
+    "Namer",
+    "OpPlan",
+    "PlannedOp",
+    "lower_inference",
+    "lower_training",
+    "instantiate_plan",
+]

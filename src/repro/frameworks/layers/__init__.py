@@ -1,0 +1,39 @@
+"""Layer catalog for the torchsim mini-framework."""
+
+from .nlp import (
+    Embedding,
+    FeedForward,
+    Gelu,
+    LayerNorm,
+    MultiHeadSelfAttention,
+    TransformerEncoderLayer,
+)
+from .vision import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    conv_bn_relu,
+)
+
+__all__ = [
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Linear",
+    "conv_bn_relu",
+    "LayerNorm",
+    "Gelu",
+    "Embedding",
+    "MultiHeadSelfAttention",
+    "FeedForward",
+    "TransformerEncoderLayer",
+]

@@ -1,0 +1,175 @@
+"""Transformer-family layers: layer norm, GELU, attention, FFN, embeddings.
+
+Sequence inputs use (batch, seq_len, hidden) shapes.  Attention is
+decomposed into the kernels a real framework launches: QKV projection
+GEMMs, the score GEMM, softmax, the context GEMM, and the output
+projection — so an attention block contributes the same kind of
+mixed compute/memory kernel trace that the paper's NLP workloads show.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from ..module import Built, Module, Namer, Sequential, Shape
+from ..specbuild import elementwise_spec, gemm_spec, reduction_spec, softmax_spec
+
+__all__ = [
+    "LayerNorm",
+    "Gelu",
+    "Embedding",
+    "MultiHeadSelfAttention",
+    "FeedForward",
+    "TransformerEncoderLayer",
+]
+
+
+def _check_seq(shape: Shape, who: str) -> Tuple[int, int, int]:
+    if len(shape) != 3:
+        raise ValueError(f"{who} expects (batch, seq, hidden) input, got {shape}")
+    return shape  # type: ignore[return-value]
+
+
+class LayerNorm(Module):
+    """Layer normalization — memory bound."""
+
+    def __init__(self, hidden: int):
+        self.hidden = hidden
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        numel = math.prod(x)
+        fwd = reduction_spec(namer.name("layernorm"), numel, passes=2.5)
+        bwd = reduction_spec(namer.name("layernorm_bwd"), numel, passes=3.0)
+        return Built([fwd], [bwd], 2 * self.hidden, x)
+
+
+class Gelu(Module):
+    """GELU activation — pointwise with a few extra FLOPs."""
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        numel = math.prod(x)
+        fwd = elementwise_spec(namer.name("gelu"), numel, flops_per_element=8.0)
+        bwd = elementwise_spec(namer.name("gelu_bwd"), numel, reads=2, writes=1,
+                               flops_per_element=10.0)
+        return Built([fwd], [bwd], 0, x)
+
+
+class Embedding(Module):
+    """Token + position embedding lookup — a gather, memory bound."""
+
+    def __init__(self, vocab: int, hidden: int):
+        self.vocab = vocab
+        self.hidden = hidden
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        if len(x) != 2:
+            raise ValueError(f"Embedding expects (batch, seq) token input, got {x}")
+        batch, seq = x
+        numel = batch * seq * self.hidden
+        fwd = elementwise_spec(namer.name("embedding"), numel, reads=1, writes=1,
+                               flops_per_element=0.0)
+        bwd = elementwise_spec(namer.name("embedding_bwd"), numel, reads=1, writes=1,
+                               flops_per_element=1.0)
+        return Built([fwd], [bwd], self.vocab * self.hidden, (batch, seq, self.hidden))
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention, lowered to its GEMM/softmax kernels."""
+
+    def __init__(self, hidden: int, heads: int):
+        if hidden % heads != 0:
+            raise ValueError(f"hidden {hidden} not divisible by heads {heads}")
+        self.hidden = hidden
+        self.heads = heads
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        batch, seq, hidden = _check_seq(x, "MultiHeadSelfAttention")
+        if hidden != self.hidden:
+            raise ValueError(f"attention expected hidden {self.hidden}, got {hidden}")
+        head_dim = hidden // self.heads
+        fwd = []
+        bwd = []
+        # QKV projection: one fused GEMM hidden -> 3*hidden.
+        fwd.append(gemm_spec(namer.name("attn_qkv"), batch * seq, 3 * hidden, hidden))
+        bwd.append(gemm_spec(namer.name("attn_qkv_dgrad"), batch * seq, hidden, 3 * hidden))
+        bwd.append(gemm_spec(namer.name("attn_qkv_wgrad"), hidden, 3 * hidden, batch * seq))
+        # Scores: (seq x head_dim) @ (head_dim x seq) per head per batch.
+        fwd.append(gemm_spec(namer.name("attn_scores"), seq, seq, head_dim,
+                             batch=batch * self.heads))
+        bwd.append(gemm_spec(namer.name("attn_scores_bwd"), seq, head_dim, seq,
+                             batch=2 * batch * self.heads))
+        # Softmax over seq x seq score matrices.
+        fwd.append(softmax_spec(namer.name("attn_softmax"),
+                                batch * self.heads * seq * seq))
+        bwd.append(softmax_spec(namer.name("attn_softmax_bwd"),
+                                batch * self.heads * seq * seq))
+        # Context: scores @ V.
+        fwd.append(gemm_spec(namer.name("attn_context"), seq, head_dim, seq,
+                             batch=batch * self.heads))
+        bwd.append(gemm_spec(namer.name("attn_context_bwd"), seq, seq, head_dim,
+                             batch=2 * batch * self.heads))
+        # Output projection.
+        fwd.append(gemm_spec(namer.name("attn_out"), batch * seq, hidden, hidden))
+        bwd.append(gemm_spec(namer.name("attn_out_dgrad"), batch * seq, hidden, hidden))
+        bwd.append(gemm_spec(namer.name("attn_out_wgrad"), hidden, hidden, batch * seq))
+        params = 4 * hidden * hidden + 4 * hidden
+        return Built(fwd, bwd, params, x)
+
+
+class FeedForward(Module):
+    """Transformer FFN: Linear(hidden->ffn) + GELU + Linear(ffn->hidden)."""
+
+    def __init__(self, hidden: int, ffn: int):
+        self.hidden = hidden
+        self.ffn = ffn
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        batch, seq, hidden = _check_seq(x, "FeedForward")
+        rows = batch * seq
+        result = Built(out_shape=x)
+        result.forward.append(gemm_spec(namer.name("ffn_in"), rows, self.ffn, hidden))
+        result.backward.append(gemm_spec(namer.name("ffn_in_dgrad"), rows, hidden, self.ffn))
+        result.backward.append(gemm_spec(namer.name("ffn_in_wgrad"), hidden, self.ffn, rows))
+        gelu = Gelu().build((batch, seq, self.ffn), namer)
+        result.forward.extend(gelu.forward)
+        result.backward.extend(gelu.backward)
+        result.forward.append(gemm_spec(namer.name("ffn_out"), rows, hidden, self.ffn))
+        result.backward.append(gemm_spec(namer.name("ffn_out_dgrad"), rows, self.ffn, hidden))
+        result.backward.append(gemm_spec(namer.name("ffn_out_wgrad"), self.ffn, hidden, rows))
+        result.params = 2 * hidden * self.ffn + hidden + self.ffn
+        return result
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm encoder block: LN + MHSA + residual add, LN + FFN + residual."""
+
+    def __init__(self, hidden: int, heads: int, ffn: int):
+        self.hidden = hidden
+        self.attn = MultiHeadSelfAttention(hidden, heads)
+        self.ffn = FeedForward(hidden, ffn)
+        self.ln1 = LayerNorm(hidden)
+        self.ln2 = LayerNorm(hidden)
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        batch, seq, hidden = _check_seq(x, "TransformerEncoderLayer")
+        result = Built(out_shape=x)
+        for module in (self.ln1, self.attn):
+            result.extend(module.build(x, namer))
+        numel = batch * seq * hidden
+        result.forward.append(
+            elementwise_spec(namer.name("attn_residual"), numel, reads=2, writes=1)
+        )
+        result.backward.append(
+            elementwise_spec(namer.name("attn_residual_bwd"), numel, reads=1, writes=2)
+        )
+        for module in (self.ln2, self.ffn):
+            result.extend(module.build(x, namer))
+        result.forward.append(
+            elementwise_spec(namer.name("ffn_residual"), numel, reads=2, writes=1)
+        )
+        result.backward.append(
+            elementwise_spec(namer.name("ffn_residual_bwd"), numel, reads=1, writes=2)
+        )
+        result.out_shape = x
+        return result

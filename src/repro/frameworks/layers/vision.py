@@ -1,0 +1,218 @@
+"""Vision layers: convolutions, batch norm, activations, pooling, linear.
+
+Shapes are NCHW tuples.  Backward kernels follow the standard autograd
+decomposition: a convolution's backward is a data-gradient plus a
+weight-gradient kernel (each roughly the cost of the forward), an
+elementwise op's backward is one elementwise kernel, a batch norm's
+backward is one reduction-style kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.kernels.kernel import KernelSpec
+
+from ..module import Built, Module, Namer, Shape
+from ..specbuild import (
+    conv2d_spec,
+    depthwise_conv2d_spec,
+    elementwise_spec,
+    gemm_spec,
+    reduction_spec,
+)
+
+__all__ = [
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Linear",
+]
+
+
+def _check_nchw(shape: Shape, who: str) -> Tuple[int, int, int, int]:
+    if len(shape) != 4:
+        raise ValueError(f"{who} expects NCHW input, got shape {shape}")
+    return shape  # type: ignore[return-value]
+
+
+class Conv2d(Module):
+    """Standard 2D convolution (implicit GEMM)."""
+
+    def __init__(self, c_in: int, c_out: int, kernel_size: int, stride: int = 1,
+                 padding: int = 0):
+        if min(c_in, c_out, kernel_size, stride) < 1:
+            raise ValueError("Conv2d arguments must be >= 1")
+        self.c_in = c_in
+        self.c_out = c_out
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def _out_hw(self, h: int, w: int) -> Tuple[int, int]:
+        h_out = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        w_out = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        if h_out < 1 or w_out < 1:
+            raise ValueError(f"Conv2d output collapsed: {h}x{w} -> {h_out}x{w_out}")
+        return h_out, w_out
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        n, c, h, w = _check_nchw(x, "Conv2d")
+        if c != self.c_in:
+            raise ValueError(f"Conv2d expected {self.c_in} channels, got {c}")
+        h_out, w_out = self._out_hw(h, w)
+        fwd = conv2d_spec(
+            namer.name("conv2d"), n, self.c_in, self.c_out, h_out, w_out,
+            self.kernel_size,
+        )
+        # Backward: data gradient + weight gradient, each ~forward cost.
+        dgrad = conv2d_spec(
+            namer.name("conv2d_dgrad"), n, self.c_out, self.c_in, h, w,
+            self.kernel_size,
+        )
+        wgrad = conv2d_spec(
+            namer.name("conv2d_wgrad"), n, self.c_in, self.c_out, h_out, w_out,
+            self.kernel_size,
+        )
+        params = self.c_in * self.c_out * self.kernel_size**2
+        return Built([fwd], [dgrad, wgrad], params, (n, self.c_out, h_out, w_out))
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise convolution (MobileNet building block, memory bound)."""
+
+    def __init__(self, channels: int, kernel_size: int, stride: int = 1,
+                 padding: int = 0):
+        if min(channels, kernel_size, stride) < 1:
+            raise ValueError("DepthwiseConv2d arguments must be >= 1")
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        n, c, h, w = _check_nchw(x, "DepthwiseConv2d")
+        if c != self.channels:
+            raise ValueError(f"DepthwiseConv2d expected {self.channels} channels, got {c}")
+        h_out = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        w_out = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        fwd = depthwise_conv2d_spec(
+            namer.name("dwconv2d"), n, c, h_out, w_out, self.kernel_size
+        )
+        dgrad = depthwise_conv2d_spec(
+            namer.name("dwconv2d_dgrad"), n, c, h, w, self.kernel_size
+        )
+        wgrad = depthwise_conv2d_spec(
+            namer.name("dwconv2d_wgrad"), n, c, h_out, w_out, self.kernel_size
+        )
+        params = c * self.kernel_size**2
+        return Built([fwd], [dgrad, wgrad], params, (n, c, h_out, w_out))
+
+
+class BatchNorm2d(Module):
+    """2D batch normalization — the paper's canonical memory-bound kernel."""
+
+    def __init__(self, channels: int):
+        self.channels = channels
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        n, c, h, w = _check_nchw(x, "BatchNorm2d")
+        if c != self.channels:
+            raise ValueError(f"BatchNorm2d expected {self.channels} channels, got {c}")
+        numel = n * c * h * w
+        fwd = reduction_spec(namer.name("batchnorm2d"), numel, passes=2.5)
+        bwd = reduction_spec(namer.name("batchnorm2d_bwd"), numel, passes=3.0)
+        return Built([fwd], [bwd], 2 * c, x)
+
+
+class ReLU(Module):
+    """Pointwise activation (also used for ReLU6 — identical cost)."""
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        numel = math.prod(x)
+        fwd = elementwise_spec(namer.name("relu"), numel)
+        bwd = elementwise_spec(namer.name("relu_bwd"), numel, reads=2, writes=1)
+        return Built([fwd], [bwd], 0, x)
+
+
+class MaxPool2d(Module):
+    """Max pooling."""
+
+    def __init__(self, kernel_size: int, stride: int, padding: int = 0):
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        n, c, h, w = _check_nchw(x, "MaxPool2d")
+        h_out = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        w_out = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        numel = n * c * h * w
+        fwd = reduction_spec(namer.name("maxpool2d"), numel, passes=1.5,
+                             flops_per_element=1.0)
+        bwd = elementwise_spec(namer.name("maxpool2d_bwd"), numel)
+        return Built([fwd], [bwd], 0, (n, c, h_out, w_out))
+
+
+class GlobalAvgPool2d(Module):
+    """Adaptive average pool to 1x1."""
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        n, c, h, w = _check_nchw(x, "GlobalAvgPool2d")
+        numel = n * c * h * w
+        fwd = reduction_spec(namer.name("avgpool2d"), numel, passes=1.2,
+                             flops_per_element=1.0)
+        bwd = elementwise_spec(namer.name("avgpool2d_bwd"), numel)
+        return Built([fwd], [bwd], 0, (n, c, 1, 1))
+
+
+class Flatten(Module):
+    """Shape-only reshape: emits no kernels."""
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        if len(x) < 2:
+            raise ValueError(f"Flatten expects >= 2 dims, got {x}")
+        return Built([], [], 0, (x[0], math.prod(x[1:])))
+
+
+class Linear(Module):
+    """Fully connected layer (GEMM)."""
+
+    def __init__(self, in_features: int, out_features: int):
+        if min(in_features, out_features) < 1:
+            raise ValueError("Linear features must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        if x[-1] != self.in_features:
+            raise ValueError(
+                f"Linear expected last dim {self.in_features}, got {x[-1]} ({x})"
+            )
+        rows = math.prod(x[:-1])
+        fwd = gemm_spec(namer.name("linear"), rows, self.out_features,
+                        self.in_features)
+        # Backward: dX = dY @ W^T, dW = X^T @ dY.
+        dgrad = gemm_spec(namer.name("linear_dgrad"), rows, self.in_features,
+                          self.out_features)
+        wgrad = gemm_spec(namer.name("linear_wgrad"), self.in_features,
+                          self.out_features, rows)
+        params = self.in_features * self.out_features + self.out_features
+        return Built([fwd], [dgrad, wgrad], params, x[:-1] + (self.out_features,))
+
+
+def conv_bn_relu(c_in: int, c_out: int, kernel_size: int, stride: int = 1,
+                 padding: int = 0):
+    """Convenience: the Conv-BN-ReLU triple that dominates vision models."""
+    from ..module import Sequential
+
+    return Sequential(
+        Conv2d(c_in, c_out, kernel_size, stride, padding),
+        BatchNorm2d(c_out),
+        ReLU(),
+    )

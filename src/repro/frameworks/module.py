@@ -1,0 +1,121 @@
+"""Minimal DNN module system ("torchsim").
+
+A :class:`Module` describes computation symbolically: calling
+:meth:`Module.build` with an input shape produces the forward kernel
+specs, the matching backward kernel specs, the parameter count, and the
+output shape.  Containers compose.  This is the stand-in for
+PyTorch's module tree — the scheduler only ever sees the kernel
+sequences that lowering (see :mod:`repro.frameworks.lowering`) emits.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.kernels.kernel import KernelSpec
+
+__all__ = ["Module", "Sequential", "Residual", "Built", "Namer"]
+
+Shape = Tuple[int, ...]
+
+
+class Namer:
+    """Generates unique, stable kernel names within one model build."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._counts: dict = {}
+
+    def name(self, op: str) -> str:
+        index = self._counts.get(op, 0)
+        self._counts[op] = index + 1
+        return f"{self.prefix}/{op}_{index}"
+
+
+@dataclass
+class Built:
+    """Result of building a module for a concrete input shape."""
+
+    forward: List[KernelSpec] = field(default_factory=list)
+    backward: List[KernelSpec] = field(default_factory=list)
+    params: int = 0
+    out_shape: Shape = ()
+
+    def extend(self, other: "Built") -> None:
+        self.forward.extend(other.forward)
+        # Backward specs accumulate in forward order here; lowering
+        # reverses the whole list once, which yields the standard
+        # reverse-topological backward pass.
+        self.backward.extend(other.backward)
+        self.params += other.params
+        self.out_shape = other.out_shape
+
+
+class Module(abc.ABC):
+    """Base class: every layer/container implements :meth:`build`."""
+
+    @abc.abstractmethod
+    def build(self, x: Shape, namer: Namer) -> Built:
+        """Emit kernels for input shape ``x``; returns a :class:`Built`."""
+
+    def out_shape(self, x: Shape) -> Shape:
+        """Shape-only evaluation (no kernel emission)."""
+        return self.build(x, Namer("shape-probe")).out_shape
+
+
+class Sequential(Module):
+    """Runs children in order."""
+
+    def __init__(self, *children: Module):
+        if not children:
+            raise ValueError("Sequential needs at least one child")
+        self.children: Sequence[Module] = children
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        result = Built(out_shape=x)
+        shape = x
+        for child in self.children:
+            built = child.build(shape, namer)
+            result.extend(built)
+            shape = built.out_shape
+        return result
+
+
+class Residual(Module):
+    """y = F(x) + x with an optional projection on the skip path.
+
+    The elementwise add is a real kernel (it shows up in ResNet traces);
+    shapes of the two branches must match after the optional projection.
+    """
+
+    def __init__(self, body: Module, projection: Module = None):
+        self.body = body
+        self.projection = projection
+
+    def build(self, x: Shape, namer: Namer) -> Built:
+        from .specbuild import elementwise_spec
+
+        result = Built(out_shape=x)
+        body_built = self.body.build(x, namer)
+        result.extend(body_built)
+        if self.projection is not None:
+            proj_built = self.projection.build(x, namer)
+            if proj_built.out_shape != body_built.out_shape:
+                raise ValueError(
+                    f"residual branch shapes differ: {proj_built.out_shape} "
+                    f"vs {body_built.out_shape}"
+                )
+            result.extend(proj_built)
+            result.out_shape = body_built.out_shape
+        numel = 1
+        for dim in body_built.out_shape:
+            numel *= dim
+        add = elementwise_spec(namer.name("residual_add"), numel, reads=2, writes=1)
+        result.forward.append(add)
+        result.backward.append(
+            elementwise_spec(namer.name("residual_add_bwd"), numel, reads=1, writes=2)
+        )
+        result.out_shape = body_built.out_shape
+        return result

@@ -1,0 +1,186 @@
+"""Kernel-spec builders shared by all layers.
+
+Each builder turns an abstract amount of work (FLOPs, bytes, launch
+shape heuristics) into a :class:`~repro.kernels.kernel.KernelSpec`.
+The launch-geometry heuristics mirror how cuDNN/cuBLAS-style kernels
+are actually shaped: GEMMs use 128x128 output tiles with heavy register
+and shared-memory usage, elementwise kernels use wide thin grids, and
+reductions sit in between.  Efficiency constants (fraction of device
+peak the kernel family reaches) are the tunable part of the workload
+model and are documented per family.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.kernels.kernel import KernelSpec
+from repro.kernels.launch import LaunchConfig
+
+__all__ = [
+    "gemm_spec",
+    "conv2d_spec",
+    "depthwise_conv2d_spec",
+    "elementwise_spec",
+    "reduction_spec",
+    "softmax_spec",
+    "FP32_BYTES",
+]
+
+FP32_BYTES = 4
+
+# Fraction of peak each kernel family achieves on its bottleneck
+# resource.  Dense GEMM/conv kernels reach a good fraction of peak
+# FLOPs; normalization/elementwise kernels stream memory near peak but
+# barely use the ALUs.
+GEMM_COMPUTE_EFF = 0.72
+GEMM_MEMORY_EFF = 0.80
+CONV_COMPUTE_EFF = 0.60
+DEPTHWISE_COMPUTE_EFF = 0.25
+ELEMENTWISE_COMPUTE_EFF = 0.20
+ELEMENTWISE_MEMORY_EFF = 0.85
+REDUCTION_COMPUTE_EFF = 0.25
+REDUCTION_MEMORY_EFF = 0.80
+
+
+# (tile, registers/thread, shared memory/block) — bigger tiles amortize
+# loads better but produce fewer blocks; the picker below mimics
+# cuBLAS/cuDNN heuristics by shrinking tiles until the grid can fill a
+# typical device (~128 blocks), falling back to split-K for small
+# outputs with deep reductions.
+_GEMM_TILES = ((128, 96, 48 * 1024), (64, 64, 16 * 1024), (32, 40, 8 * 1024))
+_TARGET_BLOCKS = 128
+
+
+def _gemm_launch(m: int, n: int, k: int) -> LaunchConfig:
+    """Adaptive-tile GEMM grid."""
+    blocks = 1
+    regs, smem = _GEMM_TILES[-1][1:]
+    for tile, tile_regs, tile_smem in _GEMM_TILES:
+        blocks = max(1, math.ceil(m / tile) * math.ceil(n / tile))
+        regs, smem = tile_regs, tile_smem
+        if blocks >= _TARGET_BLOCKS:
+            break
+    if blocks < _TARGET_BLOCKS and k >= 512:
+        split_k = min(8, max(1, _TARGET_BLOCKS // blocks))
+        blocks *= split_k
+    return LaunchConfig(
+        num_blocks=blocks,
+        threads_per_block=256,
+        registers_per_thread=regs,
+        shared_mem_per_block=smem,
+    )
+
+
+def _elementwise_launch(numel: int) -> LaunchConfig:
+    """Grid-stride loop, 4 elements per thread."""
+    blocks = max(1, math.ceil(numel / (256 * 4)))
+    return LaunchConfig(
+        num_blocks=blocks, threads_per_block=256, registers_per_thread=24
+    )
+
+
+def _reduction_launch(numel: int) -> LaunchConfig:
+    blocks = max(1, math.ceil(numel / (512 * 8)))
+    return LaunchConfig(
+        num_blocks=blocks,
+        threads_per_block=512,
+        registers_per_thread=32,
+        shared_mem_per_block=4 * 1024,
+    )
+
+
+def gemm_spec(name: str, m: int, n: int, k: int, batch: int = 1) -> KernelSpec:
+    """(Batched) dense matrix multiply: C[m,n] += A[m,k] @ B[k,n]."""
+    if min(m, n, k, batch) < 1:
+        raise ValueError(f"gemm {name}: dimensions must be >= 1")
+    flops = 2.0 * m * n * k * batch
+    bytes_moved = FP32_BYTES * batch * (m * k + k * n + m * n)
+    return KernelSpec(
+        name=name,
+        flops=flops,
+        bytes_moved=bytes_moved,
+        launch=_gemm_launch(m * batch, n, k),
+        compute_efficiency=GEMM_COMPUTE_EFF,
+        memory_efficiency=GEMM_MEMORY_EFF,
+    )
+
+
+def conv2d_spec(
+    name: str,
+    batch: int,
+    c_in: int,
+    c_out: int,
+    h_out: int,
+    w_out: int,
+    kernel_size: int,
+) -> KernelSpec:
+    """Implicit-GEMM convolution: M = N*H*W, N = C_out, K = C_in*k*k."""
+    m = batch * h_out * w_out
+    n = c_out
+    k = c_in * kernel_size * kernel_size
+    flops = 2.0 * m * n * k
+    # Activations in + out + filter weights.
+    bytes_moved = FP32_BYTES * (
+        batch * c_in * h_out * w_out + batch * c_out * h_out * w_out + n * k
+    )
+    return KernelSpec(
+        name=name,
+        flops=flops,
+        bytes_moved=bytes_moved,
+        launch=_gemm_launch(m, n, k),
+        compute_efficiency=CONV_COMPUTE_EFF,
+        memory_efficiency=GEMM_MEMORY_EFF,
+    )
+
+
+def depthwise_conv2d_spec(
+    name: str, batch: int, channels: int, h_out: int, w_out: int, kernel_size: int
+) -> KernelSpec:
+    """Depthwise convolution — low arithmetic intensity, memory bound."""
+    numel_out = batch * channels * h_out * w_out
+    flops = 2.0 * numel_out * kernel_size * kernel_size
+    bytes_moved = FP32_BYTES * (2 * numel_out + channels * kernel_size * kernel_size)
+    return KernelSpec(
+        name=name,
+        flops=flops,
+        bytes_moved=bytes_moved,
+        launch=_elementwise_launch(numel_out),
+        compute_efficiency=DEPTHWISE_COMPUTE_EFF,
+        memory_efficiency=0.70,
+    )
+
+
+def elementwise_spec(
+    name: str, numel: int, reads: int = 1, writes: int = 1, flops_per_element: float = 1.0
+) -> KernelSpec:
+    """Pointwise op (ReLU, add, bias, dropout, optimizer update...)."""
+    if numel < 1:
+        raise ValueError(f"elementwise {name}: numel must be >= 1")
+    return KernelSpec(
+        name=name,
+        flops=flops_per_element * numel,
+        bytes_moved=FP32_BYTES * numel * (reads + writes),
+        launch=_elementwise_launch(numel),
+        compute_efficiency=ELEMENTWISE_COMPUTE_EFF,
+        memory_efficiency=ELEMENTWISE_MEMORY_EFF,
+    )
+
+
+def reduction_spec(
+    name: str, numel: int, passes: float = 2.0, flops_per_element: float = 2.0
+) -> KernelSpec:
+    """Normalization-style kernel (mean/var + normalize): BN, LN, pooling."""
+    return KernelSpec(
+        name=name,
+        flops=flops_per_element * numel,
+        bytes_moved=FP32_BYTES * numel * passes,
+        launch=_reduction_launch(numel),
+        compute_efficiency=REDUCTION_COMPUTE_EFF,
+        memory_efficiency=REDUCTION_MEMORY_EFF,
+    )
+
+
+def softmax_spec(name: str, numel: int) -> KernelSpec:
+    """Row softmax: exp + sum + divide, ~3 passes over the data."""
+    return reduction_spec(name, numel, passes=3.0, flops_per_element=5.0)

@@ -1,0 +1,31 @@
+"""Simulated GPU: device catalog, streams, dispatcher, contention, memory, PCIe."""
+
+from .contention import ContentionModel, ContentionParams, profile_similarity
+from .cuda_events import CudaEvent
+from .device import GpuDevice, RunningKernel
+from .memory import Allocation, DeviceMemory, GpuOutOfMemoryError
+from .pcie import PcieEngine
+from .specs import A100_40GB, DEVICES, V100_16GB, DeviceSpec, get_device
+from .streams import DEFAULT_PRIORITY, HIGH_PRIORITY, Stream, StreamOp
+
+__all__ = [
+    "GpuDevice",
+    "RunningKernel",
+    "DeviceSpec",
+    "V100_16GB",
+    "A100_40GB",
+    "DEVICES",
+    "get_device",
+    "Stream",
+    "StreamOp",
+    "DEFAULT_PRIORITY",
+    "HIGH_PRIORITY",
+    "CudaEvent",
+    "ContentionModel",
+    "ContentionParams",
+    "profile_similarity",
+    "DeviceMemory",
+    "Allocation",
+    "GpuOutOfMemoryError",
+    "PcieEngine",
+]

@@ -1,0 +1,180 @@
+"""Interference model for co-resident kernels.
+
+This module is the simulator's substitute for real-silicon contention
+and is calibrated against the paper's own Table 2 microbenchmark (see
+DESIGN.md §3).  Given the set of kernels currently resident on the
+device, it computes each kernel's *progress rate*: 1.0 means the kernel
+advances at its solo speed; 0.5 means it takes twice as long.
+
+Model
+-----
+Each kernel k carries solo demands ``c_k`` (fraction of peak compute
+throughput), ``m_k`` (fraction of peak memory bandwidth) and ``s_k``
+(SM footprint).  For the resident set, the per-resource totals are
+
+    D_c = sum(c_j),   D_m = sum(m_j),   D_sm = sum(s_j) / num_sms
+
+A kernel's slowdown is the worst of four contention mechanisms:
+
+    slowdown_k = max(1, compute_term, memory_term, sm_term, residency_term)
+
+    compute_term  = (w_c * D'_c)^ALPHA_C        # ALU/issue bandwidth
+    memory_term   = (w_m * D'_m)^ALPHA_M        # DRAM bandwidth
+    sm_term       = 1 + max(0, D_sm - 1) * GAMMA * similarity_k
+    residency_term= prod_j (1 + BETA * similarity_kj * s_j / num_sms)
+
+* compute/memory terms: dependence is weighted by the kernel's own
+  profile (``w = demand / dominant demand``) and contention is
+  priority-discounted (the hardware issues warps from higher-priority
+  streams first).
+* sm_term models *thread-block slot timesharing*: when resident kernels
+  demand more SMs than exist, their blocks interleave and each kernel
+  effectively timeshares the machine (GAMMA = 1 is proportional
+  timesharing).  Opposite-profile co-runners hide in each other's
+  stall cycles, so the term is scaled by profile similarity — the
+  physical effect Orion exploits.  Block slots are not preemptible, so
+  stream priority does NOT discount this term.
+* residency_term is a co-residency penalty (L2 / DRAM row-buffer /
+  scheduler collisions) for similar-profile neighbours even under
+  capacity.
+
+Constants are fit to reproduce Table 2 of the paper: Conv2d+Conv2d
+1.0x (two machine-filling compute kernels timeshare into sequential-
+equivalent time), BN2d+BN2d ~1.1x, Conv2d+BN2d ~1.45x speedup over
+sequential execution (pinned by ``tests/test_calibration.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.kernels.kernel import KernelOp
+
+__all__ = ["ContentionModel", "ContentionParams", "profile_similarity"]
+
+
+@dataclass(frozen=True)
+class ContentionParams:
+    """Tunable constants of the interference model (see module docs)."""
+
+    alpha_compute: float = 1.00
+    alpha_memory: float = 1.22
+    # Weight of SM block-slot timesharing (1.0 = proportional).
+    gamma_sm: float = 1.00
+    # Co-residency penalty per similar-profile co-runner (see module docs).
+    beta_coresidency: float = 0.15
+    # Relative warp-issue weight of a priority step: contention caused
+    # by a stream ``p`` levels below is discounted by this base.
+    priority_weight_base: float = 4.0
+
+    def __post_init__(self):
+        if self.alpha_compute < 1 or self.alpha_memory < 1:
+            raise ValueError("contention exponents must be >= 1")
+        if self.gamma_sm < 0 or self.beta_coresidency < 0:
+            raise ValueError("gamma_sm and beta_coresidency must be >= 0")
+        if self.priority_weight_base < 1:
+            raise ValueError("priority_weight_base must be >= 1")
+
+
+def profile_similarity(a: KernelOp, b: KernelOp) -> float:
+    """Cosine similarity of two kernels' (compute, memory) demand vectors.
+
+    1.0 for identical profiles (worst SM sharing), near 0 for fully
+    opposite profiles (best SM sharing).
+    """
+    norm_a = math.hypot(a.compute_util, a.memory_util)
+    norm_b = math.hypot(b.compute_util, b.memory_util)
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    dot = a.compute_util * b.compute_util + a.memory_util * b.memory_util
+    return min(1.0, dot / (norm_a * norm_b))
+
+
+class ContentionModel:
+    """Computes progress rates for a resident kernel set."""
+
+    def __init__(self, num_sms: int, params: ContentionParams = ContentionParams()):
+        if num_sms < 1:
+            raise ValueError("num_sms must be >= 1")
+        self.num_sms = num_sms
+        self.params = params
+
+    def _priority_factor(self, own_priority: int, other_priority: int) -> float:
+        """How much of another kernel's demand this kernel experiences.
+
+        Equal priorities contend fully (1.0).  A higher-priority kernel
+        sees discounted interference from lower-priority co-runners,
+        while lower-priority kernels see amplified interference, roughly
+        conserving total throughput.
+        """
+        w_own = self.params.priority_weight_base**own_priority
+        w_other = self.params.priority_weight_base**other_priority
+        return 2.0 * w_other / (w_own + w_other)
+
+    def rates(
+        self, kernels: Sequence[KernelOp], priorities: Dict[int, int]
+    ) -> Dict[int, float]:
+        """Progress rate per kernel ``seq`` for the resident set.
+
+        ``priorities`` maps kernel ``seq`` to its stream priority
+        (larger = more important; 0 = default).
+        """
+        if not kernels:
+            return {}
+        params = self.params
+        sm_total = sum(k.sm_needed for k in kernels) / self.num_sms
+        sm_excess = max(0.0, sm_total - 1.0)
+        result: Dict[int, float] = {}
+        for k in kernels:
+            own_pri = priorities.get(k.seq, 0)
+            demand_c = k.compute_util
+            demand_m = k.memory_util
+            for j in kernels:
+                if j.seq == k.seq:
+                    continue
+                factor = self._priority_factor(own_pri, priorities.get(j.seq, 0))
+                demand_c += j.compute_util * factor
+                demand_m += j.memory_util * factor
+            dominant = max(k.compute_util, k.memory_util, 1e-12)
+            w_c = k.compute_util / dominant
+            w_m = k.memory_util / dominant
+            compute_term = (w_c * demand_c) ** params.alpha_compute
+            memory_term = (w_m * demand_m) ** params.alpha_memory
+            sm_term = 1.0
+            if sm_excess > 0 and len(kernels) > 1 and params.gamma_sm > 0:
+                sm_weight = sum(j.sm_needed for j in kernels if j.seq != k.seq)
+                if sm_weight > 0:
+                    similarity = sum(
+                        profile_similarity(k, j) * j.sm_needed
+                        for j in kernels
+                        if j.seq != k.seq
+                    ) / sm_weight
+                    sm_term = 1.0 + params.gamma_sm * sm_excess * similarity
+            residency_term = 1.0
+            if params.beta_coresidency > 0:
+                for j in kernels:
+                    if j.seq == k.seq:
+                        continue
+                    share = min(1.0, j.sm_needed / self.num_sms)
+                    residency_term *= 1.0 + (
+                        params.beta_coresidency * profile_similarity(k, j) * share
+                    )
+            slowdown = max(1.0, compute_term, memory_term, sm_term, residency_term)
+            result[k.seq] = 1.0 / slowdown
+        return result
+
+    def device_utilization(
+        self, kernels: Sequence[KernelOp], rates: Dict[int, float]
+    ) -> tuple[float, float, float]:
+        """Instantaneous (compute, memory-bw, sm-busy) device utilization.
+
+        A kernel progressing at rate r consumes its solo resource
+        demands scaled by r (it retires FLOPs/bytes proportionally
+        slower under contention).
+        """
+        compute = sum(k.compute_util * rates.get(k.seq, 1.0) for k in kernels)
+        memory = sum(k.memory_util * rates.get(k.seq, 1.0) for k in kernels)
+        sm_busy = sum(k.sm_needed for k in kernels) / self.num_sms
+        return min(1.0, compute), min(1.0, memory), min(1.0, sm_busy)

@@ -1,0 +1,63 @@
+"""CUDA event analog (paper §5.1.2).
+
+Orion uses CUDA events to track best-effort stream progress without
+blocking stream synchronization: record an event after submitting a
+kernel, then poll it with ``cudaEventQuery``.  The simulator mirrors
+those exact semantics: an event recorded on a stream completes when all
+work submitted to the stream *before the record* has completed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.process import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .streams import Stream
+
+__all__ = ["CudaEvent"]
+
+
+class CudaEvent:
+    """One-shot completion marker recordable on a stream, re-recordable."""
+
+    def __init__(self, name: str = "event"):
+        self.name = name
+        self._signal: Optional[Signal] = None
+        self._recorded = False
+        self.completed_at: Optional[float] = None
+
+    def record(self, stream: "Stream") -> None:
+        """Capture the stream's current tail; resets any prior record."""
+        self._recorded = True
+        self.completed_at = None
+        signal = stream.synchronize_signal()
+        self._signal = signal
+        sim = stream.device.sim
+
+        def on_done(_sig, _self=self, _signal=signal, _sim=sim):
+            # A later re-record supersedes this one.
+            if _self._signal is _signal:
+                _self.completed_at = _sim.now
+
+        signal.add_callback(on_done)
+
+    def query(self) -> bool:
+        """Non-blocking status check (cudaEventQuery).
+
+        True if the event has completed.  An event that was never
+        recorded reports True, matching CUDA's cudaSuccess for
+        unrecorded events.
+        """
+        if not self._recorded:
+            return True
+        return self._signal is not None and self._signal.triggered
+
+    def synchronize_signal(self) -> Signal:
+        """Awaitable signal for process code (cudaEventSynchronize)."""
+        if self._signal is None:
+            done = Signal()
+            done.trigger()
+            return done
+        return self._signal

@@ -1,0 +1,342 @@
+"""The simulated GPU device.
+
+Ties together the pieces of §2 of the paper: per-stream work queues, a
+non-preemptive hardware dispatcher that honours stream priorities, the
+calibrated contention model, the device-memory allocator, and the PCIe
+copy engine.  Execution is rate-based: whenever the resident kernel set
+changes, every kernel's progress rate is recomputed from the contention
+model and the next completion is rescheduled.
+
+Hardware-faithful behaviours the scheduler layers above rely on:
+
+* Kernels on one stream execute strictly in order.
+* Once dispatched, a kernel runs to completion (no preemption) — the
+  reason Orion needs its DUR_THRESHOLD throttle.
+* When the head of a higher-priority stream cannot be admitted (SM
+  backlog at the oversubscription cap), lower-priority kernels do not
+  jump ahead of it.
+* ``cudaMalloc``/``cudaFree`` synchronize the whole device.
+* A *blocking* host<->device copy stalls kernel dispatch for its
+  duration (the utilization dips visible in Figure 8 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.kernels.kernel import KernelOp, MemoryOp, MemoryOpKind
+from repro.sim.engine import ScheduledEvent, Simulator
+from repro.sim.process import Signal
+
+from .contention import ContentionModel, ContentionParams
+from .memory import DeviceMemory
+from .pcie import PcieEngine
+from .specs import DeviceSpec
+from .streams import Stream, StreamOp
+
+__all__ = ["GpuDevice", "RunningKernel"]
+
+_EPS = 1e-12
+
+
+class RunningKernel:
+    """Book-keeping for one resident kernel."""
+
+    __slots__ = ("stream_op", "remaining", "rate", "admitted_at")
+
+    def __init__(self, stream_op: StreamOp, admitted_at: float):
+        self.stream_op = stream_op
+        self.remaining = stream_op.op.duration
+        self.rate = 1.0
+        self.admitted_at = admitted_at
+
+    @property
+    def op(self) -> KernelOp:
+        return self.stream_op.op  # type: ignore[return-value]
+
+
+class GpuDevice:
+    """One simulated GPU."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: DeviceSpec,
+        contention_params: ContentionParams = ContentionParams(),
+        record_utilization: bool = False,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.contention = ContentionModel(spec.num_sms, contention_params)
+        self.memory = DeviceMemory(spec.memory_capacity)
+        self.pcie = PcieEngine(sim, spec.pcie_bandwidth, spec.pcie_latency)
+        self.streams: List[Stream] = []
+        self.running: Dict[int, RunningKernel] = {}
+        self._completion_event: Optional[ScheduledEvent] = None
+        self._dispatch_scheduled = False
+        self._last_rate_update = sim.now
+        # Blocking memcpys in flight stall kernel dispatch.
+        self._dispatch_blockers = 0
+        # FIFO of pending device-synchronizing ops (cudaMalloc/cudaFree).
+        self._pending_syncs: Deque[StreamOp] = deque()
+        self._sync_in_progress = False
+        self._active_transfers = 0
+        # Live allocations per client (for cudaFree matching).
+        self._allocations: Dict[str, List] = {}
+        # Telemetry.
+        self.record_utilization = record_utilization
+        self.utilization_segments: List[Tuple[float, float, float, float, float]] = []
+        self.kernels_completed = 0
+        self.kernel_busy_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Stream management
+    # ------------------------------------------------------------------
+    def create_stream(self, priority: int = 0, name: Optional[str] = None) -> Stream:
+        stream = Stream(self, priority=priority, name=name)
+        self.streams.append(stream)
+        return stream
+
+    def notify_work(self, _stream: Stream) -> None:
+        """Called by streams on submit; coalesces dispatch passes."""
+        self._schedule_dispatch()
+
+    def _schedule_dispatch(self) -> None:
+        if self._dispatch_scheduled:
+            return
+        self._dispatch_scheduled = True
+        self.sim.call_in(0.0, self._dispatch_pass)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    @property
+    def sm_backlog(self) -> int:
+        """SMs demanded by the resident kernel set."""
+        return sum(r.op.sm_needed for r in self.running.values())
+
+    @property
+    def idle(self) -> bool:
+        """True when no kernel, transfer, or sync is in progress."""
+        return (
+            not self.running
+            and self._active_transfers == 0
+            and not self._sync_in_progress
+        )
+
+    def _dispatch_pass(self) -> None:
+        self._dispatch_scheduled = False
+        # Close the telemetry segment under the old resident set before
+        # any admission changes it.
+        self._checkpoint()
+        # A device-wide sync owns the device exclusively.
+        if self._sync_in_progress:
+            return
+        if self._pending_syncs:
+            self._try_start_sync()
+            return
+        # Candidate streams with a ready head, priority first, then FIFO.
+        candidates = [s for s in self.streams if s.head() is not None]
+        candidates.sort(key=lambda s: (-s.priority, s.queue[0].enqueued_at, s.stream_id))
+        kernels_gated = False
+        changed = False
+        for stream in candidates:
+            head = stream.head()
+            if head is None:
+                continue
+            op = head.op
+            if isinstance(op, MemoryOp):
+                if op.kind.synchronizes_device:
+                    stream.queue.popleft()
+                    stream.in_flight = head
+                    self._pending_syncs.append(head)
+                    self._schedule_dispatch()
+                    continue
+                self._start_memory_op(stream, head)
+                continue
+            # Kernel admission.
+            if kernels_gated or self._dispatch_blockers > 0:
+                continue
+            if not self._admit_ok(op):
+                # Respect priority: a stalled higher-priority kernel
+                # gates all lower-priority kernel dispatch.
+                kernels_gated = True
+                continue
+            stream.queue.popleft()
+            stream.in_flight = head
+            head.started_at = self.sim.now
+            self.running[op.seq] = RunningKernel(head, self.sim.now)
+            changed = True
+        if changed:
+            self._recompute_rates()
+
+    def _admit_ok(self, op: KernelOp) -> bool:
+        if not self.running:
+            return True
+        if len(self.running) >= self.spec.max_concurrent_kernels:
+            return False
+        cap = self.spec.sm_oversubscription * self.spec.num_sms
+        return self.sm_backlog + op.sm_needed <= cap
+
+    # ------------------------------------------------------------------
+    # Kernel execution (rate-based)
+    # ------------------------------------------------------------------
+    def _advance_running(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_rate_update
+        if elapsed > 0 and self.running:
+            for r in self.running.values():
+                r.remaining = max(0.0, r.remaining - elapsed * r.rate)
+            self.kernel_busy_time += elapsed
+        self._last_rate_update = now
+
+    def _checkpoint(self) -> None:
+        """Advance running kernels to now and close the telemetry segment
+        for the elapsed interval using the rates that were in force."""
+        segment_start = self._last_rate_update
+        if self.record_utilization and self.sim.now > segment_start:
+            rates = {seq: r.rate for seq, r in self.running.items()}
+            ops = [r.op for r in self.running.values()]
+            compute, mem, sm = self.contention.device_utilization(ops, rates)
+            self.utilization_segments.append(
+                (segment_start, self.sim.now, compute, mem, sm)
+            )
+        self._advance_running()
+
+    def _recompute_rates(self) -> None:
+        ops = [r.op for r in self.running.values()]
+        priorities = {
+            r.op.seq: r.stream_op.stream.priority for r in self.running.values()
+        }
+        rates = self.contention.rates(ops, priorities)
+        for seq, r in self.running.items():
+            r.rate = rates[seq]
+        self._reschedule_completion()
+
+    def _reschedule_completion(self) -> None:
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self.running:
+            return
+        soonest = min(r.remaining / max(r.rate, _EPS) for r in self.running.values())
+        self._completion_event = self.sim.call_in(max(soonest, 1e-9), self._on_completion)
+
+    def _on_completion(self) -> None:
+        self._completion_event = None
+        self._checkpoint()
+        finished = [r for r in self.running.values() if r.remaining <= 1e-9]
+        # Bookkeeping and the next dispatch pass are queued *before*
+        # completion signals fire: the hardware starts the next pending
+        # kernel immediately, while host software only observes the
+        # completion afterwards.  Schedulers polling device occupancy
+        # must not see a phantom idle gap between back-to-back kernels.
+        to_signal = []
+        for r in finished:
+            del self.running[r.op.seq]
+            stream_op = r.stream_op
+            stream_op.finished_at = self.sim.now
+            stream_op.stream.in_flight = None
+            stream_op.stream.ops_completed += 1
+            self.kernels_completed += 1
+            to_signal.append(stream_op.done)
+        # Survivors may speed up now that co-runners left; recompute.
+        self._recompute_rates()
+        self._schedule_dispatch()
+        for done in to_signal:
+            done.trigger(self.sim.now)
+
+    def _finish_stream_op(self, stream_op: StreamOp) -> None:
+        stream_op.finished_at = self.sim.now
+        stream = stream_op.stream
+        stream.in_flight = None
+        stream.ops_completed += 1
+        stream_op.done.trigger(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Memory operations
+    # ------------------------------------------------------------------
+    def _start_memory_op(self, stream: Stream, head: StreamOp) -> None:
+        op = head.op
+        assert isinstance(op, MemoryOp)
+        stream.queue.popleft()
+        stream.in_flight = head
+        head.started_at = self.sim.now
+        if op.kind.is_transfer:
+            direction = "d2h" if op.kind is MemoryOpKind.MEMCPY_D2H else "h2d"
+            self._active_transfers += 1
+            if op.blocking:
+                self._dispatch_blockers += 1
+            done = self.pcie.start_transfer(op.nbytes, direction)
+            done.add_callback(lambda _sig, s=stream, h=head, o=op: self._finish_transfer(h, o))
+        elif op.kind is MemoryOpKind.MEMSET:
+            # Device-side fill: bounded by memory bandwidth; modelled as
+            # a short non-contending operation.
+            duration = op.nbytes / self.spec.memory_bandwidth + self.spec.kernel_min_duration
+            self.sim.call_in(duration, lambda h=head: self._finish_simple_op(h))
+        else:  # pragma: no cover - syncs are routed earlier
+            raise AssertionError(f"unexpected memory op {op.kind} in _start_memory_op")
+
+    def _finish_transfer(self, head: StreamOp, op: MemoryOp) -> None:
+        self._active_transfers -= 1
+        if op.blocking:
+            self._dispatch_blockers -= 1
+        self._finish_stream_op(head)
+        self._schedule_dispatch()
+
+    def _finish_simple_op(self, head: StreamOp) -> None:
+        self._finish_stream_op(head)
+        self._schedule_dispatch()
+
+    def _try_start_sync(self) -> None:
+        """Run the next cudaMalloc/cudaFree once the device drains."""
+        if self._sync_in_progress or not self._pending_syncs:
+            return
+        if self.running or self._active_transfers > 0:
+            return  # completion paths re-trigger dispatch, which re-tries
+        head = self._pending_syncs.popleft()
+        self._sync_in_progress = True
+        head.started_at = self.sim.now
+        self._apply_memory_op(head.op)
+
+        def finish(h=head):
+            self._sync_in_progress = False
+            self._finish_stream_op(h)
+            self._schedule_dispatch()
+
+        self.sim.call_in(self.spec.device_sync_latency, finish)
+
+    def _apply_memory_op(self, op: MemoryOp) -> None:
+        """Update the allocator for a malloc/free (raises on OOM)."""
+        client = op.client_id or "anonymous"
+        if op.kind is MemoryOpKind.MALLOC:
+            alloc = self.memory.malloc(op.nbytes, client)
+            self._allocations.setdefault(client, []).append(alloc)
+        elif op.kind is MemoryOpKind.FREE:
+            owned = self._allocations.get(client, [])
+            match = next((a for a in owned if a.nbytes == op.nbytes),
+                         owned[-1] if owned else None)
+            if match is not None:
+                owned.remove(match)
+                self.memory.free_allocation(match)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def synchronize_signal(self) -> Signal:
+        """Signal fired when every stream drains (cudaDeviceSynchronize)."""
+        done = Signal(self.sim)
+
+        def poll():
+            if self.idle and all(not s.busy for s in self.streams):
+                done.trigger(self.sim.now)
+            else:
+                self.sim.call_in(5e-6, poll)
+
+        poll()
+        return done
+
+    def resident_profiles(self) -> List[KernelOp]:
+        """Kernels currently resident on the device."""
+        return [r.op for r in self.running.values()]

@@ -1,0 +1,85 @@
+"""Device memory allocator.
+
+Tracks GPU memory capacity per client.  Orion (and REEF) assume the
+cluster manager only collocates jobs whose aggregate state fits in GPU
+memory (§5.1.3); the allocator enforces that assumption and surfaces
+out-of-memory as an explicit error, and feeds the "memory capacity
+utilization" column of Table 1.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["DeviceMemory", "Allocation", "GpuOutOfMemoryError"]
+
+
+class GpuOutOfMemoryError(RuntimeError):
+    """Raised when an allocation exceeds remaining device memory."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Handle to one device-memory allocation."""
+
+    alloc_id: int
+    nbytes: int
+    client_id: str
+
+
+class DeviceMemory:
+    """Bump-count allocator with per-client accounting."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.used = 0
+        self.peak_used = 0
+        self._by_client: Dict[str, int] = {}
+        self._allocations: Dict[int, Allocation] = {}
+        self._ids = itertools.count(1)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+    def utilization(self) -> float:
+        """Fraction of capacity currently allocated."""
+        return self.used / self.capacity
+
+    def client_usage(self, client_id: str) -> int:
+        return self._by_client.get(client_id, 0)
+
+    def malloc(self, nbytes: int, client_id: str = "default") -> Allocation:
+        if nbytes < 0:
+            raise ValueError("cannot allocate a negative size")
+        if nbytes > self.free:
+            raise GpuOutOfMemoryError(
+                f"cudaMalloc of {nbytes} bytes failed: "
+                f"{self.free} of {self.capacity} bytes free"
+            )
+        alloc = Allocation(next(self._ids), nbytes, client_id)
+        self._allocations[alloc.alloc_id] = alloc
+        self.used += nbytes
+        self.peak_used = max(self.peak_used, self.used)
+        self._by_client[client_id] = self._by_client.get(client_id, 0) + nbytes
+        return alloc
+
+    def free_allocation(self, alloc: Allocation) -> None:
+        if alloc.alloc_id not in self._allocations:
+            raise ValueError(f"double free of allocation {alloc.alloc_id}")
+        del self._allocations[alloc.alloc_id]
+        self.used -= alloc.nbytes
+        self._by_client[alloc.client_id] -= alloc.nbytes
+        if self._by_client[alloc.client_id] == 0:
+            del self._by_client[alloc.client_id]
+
+    def release_client(self, client_id: str) -> int:
+        """Free every allocation owned by ``client_id``; returns bytes freed."""
+        doomed = [a for a in self._allocations.values() if a.client_id == client_id]
+        for alloc in doomed:
+            self.free_allocation(alloc)
+        return sum(a.nbytes for a in doomed)

@@ -1,0 +1,93 @@
+"""Device catalog.
+
+Specs mirror the two GPUs in the paper's evaluation: the V100-16GB used
+for the main experiments (§6.1) and the A100-40GB used for the
+generalization experiment (§6.3, Figure 13).  Peak numbers are the
+public datasheet figures; scheduling-model parameters (oversubscription
+cap, launch overheads) are shared model constants documented here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.kernels.launch import SmLimits
+
+__all__ = ["DeviceSpec", "V100_16GB", "A100_40GB", "get_device", "DEVICES"]
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU device."""
+
+    name: str
+    num_sms: int
+    peak_flops: float  # FP32 FLOP/s
+    memory_bandwidth: float  # bytes/s
+    memory_capacity: int  # bytes
+    pcie_bandwidth: float  # bytes/s per direction
+    sm_limits: SmLimits = field(default_factory=SmLimits)
+    # --- scheduling-model constants ---
+    # Fixed floor added to every kernel (launch/dispatch/teardown).
+    kernel_min_duration: float = 2e-6
+    # Kernels shorter than this lack a roofline analysis in the profiler
+    # (the paper's "unknown" class; Nsight cannot characterize them).
+    roofline_min_duration: float = 6e-6
+    # The hardware dispatcher admits new kernels while the SM backlog of
+    # running kernels is below this multiple of num_sms; beyond it,
+    # arrivals (even high priority) wait — there is no preemption.
+    # Two machine-filling kernels may co-reside (their blocks
+    # timeshare, modelled by the contention sm_term); a third waits.
+    sm_oversubscription: float = 2.0
+    # Hard cap on concurrently resident kernels (HW queue limit).
+    max_concurrent_kernels: int = 128
+    # Latency of a device-synchronizing op (cudaMalloc/cudaFree).
+    device_sync_latency: float = 10e-6
+    # Fixed PCIe transfer setup latency.
+    pcie_latency: float = 10e-6
+
+    def __post_init__(self):
+        if self.num_sms < 1:
+            raise ValueError("device needs at least one SM")
+        if min(self.peak_flops, self.memory_bandwidth, self.pcie_bandwidth) <= 0:
+            raise ValueError("device rates must be positive")
+        if self.memory_capacity <= 0:
+            raise ValueError("memory capacity must be positive")
+        if self.sm_oversubscription < 1.0:
+            raise ValueError("sm_oversubscription must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "DeviceSpec":
+        """Return a copy with some fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+V100_16GB = DeviceSpec(
+    name="V100-16GB",
+    num_sms=80,
+    peak_flops=15.7e12,
+    memory_bandwidth=900e9,
+    memory_capacity=16 * GIB,
+    pcie_bandwidth=16e9,
+)
+
+A100_40GB = DeviceSpec(
+    name="A100-40GB",
+    num_sms=108,
+    peak_flops=19.5e12,
+    memory_bandwidth=1555e9,
+    memory_capacity=40 * GIB,
+    pcie_bandwidth=32e9,
+    sm_limits=SmLimits(max_threads=2048, max_blocks=32, registers=65536, shared_memory=164 * 1024),
+)
+
+DEVICES = {spec.name: spec for spec in (V100_16GB, A100_40GB)}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device spec by catalog name."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}") from None

@@ -1,0 +1,22 @@
+"""Kernel descriptors, launch geometry, and the device roofline cost model."""
+
+from .classify import UTILIZATION_THRESHOLD, classify_kernel
+from .costmodel import instantiate_kernel, solo_duration
+from .kernel import KernelOp, KernelSpec, MemoryOp, MemoryOpKind, ResourceProfile
+from .launch import LaunchConfig, SmLimits, blocks_per_sm, sm_needed
+
+__all__ = [
+    "KernelSpec",
+    "KernelOp",
+    "MemoryOp",
+    "MemoryOpKind",
+    "ResourceProfile",
+    "LaunchConfig",
+    "SmLimits",
+    "blocks_per_sm",
+    "sm_needed",
+    "classify_kernel",
+    "UTILIZATION_THRESHOLD",
+    "instantiate_kernel",
+    "solo_duration",
+]

@@ -1,0 +1,50 @@
+"""Kernel roofline classification (paper §5.2).
+
+Orion classifies each kernel as compute-bound, memory-bound, or unknown:
+
+1. If Nsight Compute provides a roofline analysis, use it (compute-bound
+   when the kernel sits right of the ridge point, i.e. its compute time
+   dominates its memory time).
+2. Otherwise fall back to the 60% rule: compute-bound if compute
+   throughput utilization > 60%, memory-bound if memory bandwidth
+   utilization > 60%.
+3. If neither holds, the kernel is ``UNKNOWN``.  The paper observes
+   these are tiny (mostly optimizer-update kernels) and treats them as
+   freely collocatable.
+
+In the simulator, "roofline available" is modelled as "the kernel ran
+long enough for the profiler to measure it" (see
+``DeviceSpec.roofline_min_duration``); the tiny update-phase kernels
+then land in ``UNKNOWN`` exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from .kernel import ResourceProfile
+
+__all__ = ["classify_kernel", "UTILIZATION_THRESHOLD"]
+
+# The 60% fallback threshold recommended by Nsight Compute (paper §5.2).
+UTILIZATION_THRESHOLD = 0.60
+
+
+def classify_kernel(
+    compute_util: float,
+    memory_util: float,
+    roofline_available: bool = True,
+    threshold: float = UTILIZATION_THRESHOLD,
+) -> ResourceProfile:
+    """Classify a kernel from its solo utilizations."""
+    if not (0 <= compute_util <= 1 and 0 <= memory_util <= 1):
+        raise ValueError("utilizations must be in [0, 1]")
+    if compute_util >= threshold or memory_util >= threshold:
+        # The 60% rule applies whether or not a roofline exists.
+        if compute_util >= memory_util:
+            return ResourceProfile.COMPUTE
+        return ResourceProfile.MEMORY
+    if roofline_available:
+        # Roofline analysis: the dominant solo resource decides.
+        if compute_util >= memory_util:
+            return ResourceProfile.COMPUTE
+        return ResourceProfile.MEMORY
+    return ResourceProfile.UNKNOWN

@@ -1,0 +1,75 @@
+"""CUDA launch geometry and per-SM occupancy arithmetic.
+
+Implements the paper's §5.2 occupancy calculation: the number of thread
+blocks that fit on one SM is limited by threads, registers, and shared
+memory, and ``sm_needed = ceil(num_blocks / blocks_per_sm)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["LaunchConfig", "SmLimits", "blocks_per_sm", "sm_needed"]
+
+
+@dataclass(frozen=True)
+class SmLimits:
+    """Per-SM hardware limits used in the occupancy calculation."""
+
+    max_threads: int = 2048
+    max_blocks: int = 32
+    registers: int = 65536
+    shared_memory: int = 98304  # bytes (96 KiB on Volta)
+
+    def __post_init__(self):
+        if min(self.max_threads, self.max_blocks, self.registers, self.shared_memory) <= 0:
+            raise ValueError("SM limits must be positive")
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/block geometry and per-thread resource usage of one kernel."""
+
+    num_blocks: int
+    threads_per_block: int
+    registers_per_thread: int = 32
+    shared_mem_per_block: int = 0
+
+    def __post_init__(self):
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if not (1 <= self.threads_per_block <= 1024):
+            raise ValueError("threads_per_block must be in [1, 1024]")
+        if self.registers_per_thread < 1:
+            raise ValueError("registers_per_thread must be >= 1")
+        if self.shared_mem_per_block < 0:
+            raise ValueError("shared_mem_per_block must be >= 0")
+
+    @property
+    def total_threads(self) -> int:
+        return self.num_blocks * self.threads_per_block
+
+
+def blocks_per_sm(launch: LaunchConfig, limits: SmLimits = SmLimits()) -> int:
+    """Blocks of this kernel that one SM can host concurrently (>= 1).
+
+    Each limiting factor (thread slots, block slots, register file,
+    shared memory) yields a bound; the minimum wins.  A kernel whose
+    single block exceeds some per-SM limit still occupies one SM — the
+    hardware serializes within the SM — so the result is clamped to 1.
+    """
+    by_threads = limits.max_threads // launch.threads_per_block
+    by_blocks = limits.max_blocks
+    regs_per_block = launch.registers_per_thread * launch.threads_per_block
+    by_registers = limits.registers // max(regs_per_block, 1)
+    if launch.shared_mem_per_block > 0:
+        by_smem = limits.shared_memory // launch.shared_mem_per_block
+    else:
+        by_smem = limits.max_blocks
+    return max(1, min(by_threads, by_blocks, by_registers, by_smem))
+
+
+def sm_needed(launch: LaunchConfig, limits: SmLimits = SmLimits()) -> int:
+    """SMs needed to host every block concurrently (paper §5.2)."""
+    return max(1, math.ceil(launch.num_blocks / blocks_per_sm(launch, limits)))

@@ -1,0 +1,19 @@
+"""Metrics: latency digests, throughput, utilization aggregation, cost model."""
+
+from .cost import cost_savings, makespan_savings
+from .latency import LatencySummary, percentile, summarize_latencies
+from .throughput import completed_in_window, throughput
+from .utilization import UtilizationAverages, average_utilization, binned_trace
+
+__all__ = [
+    "LatencySummary",
+    "summarize_latencies",
+    "percentile",
+    "throughput",
+    "completed_in_window",
+    "UtilizationAverages",
+    "average_utilization",
+    "binned_trace",
+    "cost_savings",
+    "makespan_savings",
+]

@@ -1,0 +1,32 @@
+"""GPU cost model (paper §6.2, Table 4).
+
+    cost_savings = (N_dedicated_GPUs * JCT_dedicated)
+                 / (N_collocated_GPUs * JCT_collocated)
+                 = N_dedicated * Throughput_collocated / Throughput_dedicated
+
+for the throughput-bound (best-effort) job, assuming the high-priority
+job keeps its performance — which is what Orion's policy enforces.
+"""
+
+from __future__ import annotations
+
+__all__ = ["cost_savings", "makespan_savings"]
+
+
+def cost_savings(dedicated_throughput: float, collocated_throughput: float,
+                 dedicated_gpus: int = 2, collocated_gpus: int = 1) -> float:
+    """Table 4's formula; >1 means collocation is cheaper."""
+    if dedicated_throughput <= 0 or collocated_throughput <= 0:
+        raise ValueError("throughputs must be positive")
+    if dedicated_gpus < 1 or collocated_gpus < 1:
+        raise ValueError("GPU counts must be >= 1")
+    return (dedicated_gpus * collocated_throughput) / (
+        collocated_gpus * dedicated_throughput
+    )
+
+
+def makespan_savings(sequential_makespan: float, collocated_makespan: float) -> float:
+    """Train-train use case: same GPU held for less total time (§6.2.2)."""
+    if sequential_makespan <= 0 or collocated_makespan <= 0:
+        raise ValueError("makespans must be positive")
+    return sequential_makespan / collocated_makespan

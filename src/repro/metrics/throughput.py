@@ -1,0 +1,22 @@
+"""Throughput accounting (requests/s for inference, iterations/s for training)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.workloads.clients import RequestRecord
+
+__all__ = ["throughput", "completed_in_window"]
+
+
+def completed_in_window(records: Iterable[RequestRecord], start: float,
+                        end: float) -> int:
+    """Requests that *completed* inside [start, end)."""
+    if end <= start:
+        raise ValueError("window end must exceed start")
+    return sum(1 for r in records if start <= r.end < end)
+
+
+def throughput(records: Iterable[RequestRecord], start: float, end: float) -> float:
+    """Completions per second over [start, end)."""
+    return completed_in_window(records, start, end) / (end - start)

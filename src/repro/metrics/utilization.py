@@ -1,0 +1,88 @@
+"""GPU utilization aggregation from device telemetry segments.
+
+The device records piecewise-constant segments ``(t0, t1, compute,
+memory_bw, sm_busy)`` whenever the resident kernel set changes.  This
+module turns them into the paper's metrics: time-averaged utilization
+(Table 1) and binned utilization traces (Figures 1, 8, 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["UtilizationAverages", "average_utilization", "binned_trace"]
+
+Segment = Tuple[float, float, float, float, float]
+
+
+@dataclass(frozen=True)
+class UtilizationAverages:
+    """Time-averaged device utilization over a window."""
+
+    compute: float
+    memory_bw: float
+    sm_busy: float
+    window: float
+
+
+def average_utilization(segments: Sequence[Segment], start: float,
+                        end: float) -> UtilizationAverages:
+    """Time-weighted averages over [start, end).
+
+    Gaps between segments (device idle) count as zero utilization, so
+    the denominator is the whole window — matching how Nsight-derived
+    whole-workload averages are computed in the paper.
+    """
+    if end <= start:
+        raise ValueError("window end must exceed start")
+    window = end - start
+    compute = memory = sm = 0.0
+    for t0, t1, c, m, s in segments:
+        lo, hi = max(t0, start), min(t1, end)
+        if hi <= lo:
+            continue
+        weight = hi - lo
+        compute += c * weight
+        memory += m * weight
+        sm += s * weight
+    return UtilizationAverages(compute / window, memory / window, sm / window, window)
+
+
+def binned_trace(segments: Sequence[Segment], start: float, end: float,
+                 bin_width: float = 1e-3) -> Tuple[np.ndarray, np.ndarray,
+                                                   np.ndarray, np.ndarray]:
+    """Utilization trace in fixed bins: (times, compute, memory, sm).
+
+    ``times`` are bin left edges.  Each bin holds the time-weighted mean
+    utilization within it — the series behind Figures 1, 8, and 9.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    if end <= start:
+        raise ValueError("window end must exceed start")
+    n_bins = int(np.ceil((end - start) / bin_width))
+    compute = np.zeros(n_bins)
+    memory = np.zeros(n_bins)
+    sm = np.zeros(n_bins)
+    for t0, t1, c, m, s in segments:
+        lo, hi = max(t0, start), min(t1, end)
+        if hi <= lo:
+            continue
+        first = int((lo - start) / bin_width)
+        last = min(n_bins - 1, int((hi - start) / bin_width))
+        for b in range(first, last + 1):
+            b_lo = start + b * bin_width
+            b_hi = b_lo + bin_width
+            overlap = min(hi, b_hi) - max(lo, b_lo)
+            if overlap > 0:
+                compute[b] += c * overlap
+                memory[b] += m * overlap
+                sm[b] += s * overlap
+    compute /= bin_width
+    memory /= bin_width
+    sm /= bin_width
+    times = start + np.arange(n_bins) * bin_width
+    return times, np.clip(compute, 0, 1), np.clip(memory, 0, 1), np.clip(sm, 0, 1)

@@ -1,0 +1,13 @@
+"""Offline workload profiling (the paper's Nsight-based phase, §5.2)."""
+
+from .nsight import measure_solo_latency, profile_models, profile_plan
+from .profiles import KernelProfile, ModelProfile, ProfileStore
+
+__all__ = [
+    "KernelProfile",
+    "ModelProfile",
+    "ProfileStore",
+    "profile_plan",
+    "profile_models",
+    "measure_solo_latency",
+]

@@ -1,0 +1,106 @@
+"""Offline workload profiler — the simulator's Nsight Compute/Systems.
+
+``profile_plan`` characterizes every kernel of a workload by running it
+solo on a dedicated simulated device (per-kernel metrics, as Nsight
+Compute measures them in isolation) and measures the end-to-end solo
+request latency by simulating one full request including memory copies
+and launch overheads (as Nsight Systems' timeline would show it).
+
+Optional multiplicative measurement noise models profiling error; the
+scheduler consumes only these profiled values — never the simulator's
+ground truth — preserving the paper's offline-profile architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.frameworks.lowering import OpPlan, instantiate_plan
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import DeviceSpec
+from repro.kernels.kernel import KernelOp
+from repro.runtime.client import ClientContext
+from repro.runtime.direct import DedicatedBackend
+from repro.runtime.host import HostThread
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+from repro.workloads.arrivals import ClosedLoop
+from repro.workloads.clients import InferenceClient, TrainingClient
+
+from .profiles import KernelProfile, ModelProfile, ProfileStore
+
+__all__ = ["profile_plan", "profile_models", "measure_solo_latency"]
+
+
+def measure_solo_latency(plan: OpPlan, device_spec: DeviceSpec,
+                         iterations: int = 3) -> float:
+    """Mean end-to-end solo latency of one request/iteration."""
+    sim = Simulator()
+    backend = DedicatedBackend(sim, lambda: GpuDevice(sim, device_spec))
+    host = HostThread(sim)
+    ctx = ClientContext(backend, "profiler", host,
+                        high_priority=True, kind=plan.kind)
+    horizon = 1e9  # closed loop bounded by iteration count below
+    latencies = []
+
+    def run():
+        yield from ctx.malloc(plan.state_bytes)
+        for _ in range(iterations):
+            start = sim.now
+            ops = instantiate_plan(plan, device_spec, client_id="profiler")
+            for op in ops:
+                if isinstance(op, KernelOp):
+                    yield from ctx.launch_kernel(op)
+                else:
+                    yield from ctx.memcpy(op.nbytes, op.kind, blocking=op.blocking)
+            yield from ctx.synchronize()
+            latencies.append(sim.now - start)
+
+    spawn(sim, run(), "profile-run")
+    sim.run(until=horizon)
+    if len(latencies) != iterations:
+        raise RuntimeError("solo profiling run did not complete")
+    return float(np.mean(latencies))
+
+
+def profile_plan(plan: OpPlan, device_spec: DeviceSpec,
+                 noise_rng: Optional[np.random.Generator] = None,
+                 noise: float = 0.0) -> ModelProfile:
+    """Profile every kernel of ``plan`` plus solo request latency."""
+    if noise < 0 or noise >= 0.5:
+        raise ValueError("noise must be in [0, 0.5)")
+    kernels = {}
+    for op in instantiate_plan(plan, device_spec, client_id="profiler"):
+        if not isinstance(op, KernelOp):
+            continue
+        if op.spec.name in kernels:
+            continue
+        factor = 1.0
+        if noise > 0 and noise_rng is not None:
+            factor = float(noise_rng.uniform(1.0 - noise, 1.0 + noise))
+        kernels[op.spec.name] = KernelProfile(
+            kernel_id=op.spec.name,
+            duration=op.duration * factor,
+            compute_util=min(1.0, op.compute_util * factor),
+            memory_util=min(1.0, op.memory_util * factor),
+            sm_needed=op.sm_needed,
+            profile=op.profile,
+        )
+    latency = measure_solo_latency(plan, device_spec)
+    return ModelProfile(
+        model_name=plan.model_name,
+        kind=plan.kind,
+        device_name=device_spec.name,
+        request_latency=latency,
+        kernels=kernels,
+    )
+
+
+def profile_models(plans, device_spec: DeviceSpec, **kwargs) -> ProfileStore:
+    """Profile several plans into one store."""
+    store = ProfileStore()
+    for plan in plans:
+        store.add(profile_plan(plan, device_spec, **kwargs))
+    return store

@@ -1,0 +1,19 @@
+"""CUDA-runtime-like interception layer: backends, hosts, client contexts."""
+
+from .backend import Backend, ClientInfo, Op, SoftwareQueue
+from .client import ClientContext
+from .direct import DedicatedBackend, DirectStreamBackend
+from .host import DEFAULT_LAUNCH_OVERHEAD, HostGil, HostThread
+
+__all__ = [
+    "Backend",
+    "ClientInfo",
+    "Op",
+    "SoftwareQueue",
+    "ClientContext",
+    "HostGil",
+    "HostThread",
+    "DEFAULT_LAUNCH_OVERHEAD",
+    "DirectStreamBackend",
+    "DedicatedBackend",
+]

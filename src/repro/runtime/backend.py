@@ -1,0 +1,123 @@
+"""Backend interface: where intercepted GPU operations go.
+
+A *backend* is one GPU-sharing technique.  Clients never talk to
+streams or devices directly; they register with a backend and launch
+ops through a :class:`repro.runtime.client.ClientContext`.  The paper's
+baselines (§6.1) and Orion itself are all backends over the same
+simulated device, which is what makes the comparison apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import deque
+from typing import Deque, Dict, List, Optional, Union
+
+from repro.gpu.device import GpuDevice
+from repro.kernels.kernel import KernelOp, MemoryOp
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+
+__all__ = ["Backend", "ClientInfo", "SoftwareQueue", "Op"]
+
+Op = Union[KernelOp, MemoryOp]
+
+
+class ClientInfo:
+    """Registration record for one client job."""
+
+    __slots__ = ("client_id", "priority", "kind", "high_priority")
+
+    def __init__(self, client_id: str, high_priority: bool, kind: str):
+        if kind not in ("inference", "training"):
+            raise ValueError(f"unknown job kind {kind!r}")
+        self.client_id = client_id
+        self.high_priority = high_priority
+        self.kind = kind
+        self.priority = 1 if high_priority else 0
+
+
+class SoftwareQueue:
+    """Per-client op queue in front of the GPU (paper Figure 5).
+
+    The scheduler pops ops; clients receive per-op completion signals so
+    blocking semantics survive the indirection.
+    """
+
+    def __init__(self, sim: Simulator, client_id: str):
+        self.sim = sim
+        self.client_id = client_id
+        self._items: Deque[tuple[Op, Signal]] = deque()
+        self.enqueued_total = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def push(self, op: Op) -> Signal:
+        done = Signal(self.sim)
+        self._items.append((op, done))
+        self.enqueued_total += 1
+        return done
+
+    def peek(self) -> Optional[Op]:
+        return self._items[0][0] if self._items else None
+
+    def pop(self) -> tuple[Op, Signal]:
+        if not self._items:
+            raise IndexError(f"pop from empty software queue {self.client_id!r}")
+        return self._items.popleft()
+
+
+class Backend(abc.ABC):
+    """One GPU-sharing technique."""
+
+    #: Human-readable baseline name (matches the paper's figures).
+    name: str = "abstract"
+    #: Whether clients run as threads of one process (share a GIL).
+    process_per_client: bool = False
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.clients: Dict[str, ClientInfo] = {}
+
+    @abc.abstractmethod
+    def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
+        """Register a job before it launches any ops."""
+
+    @abc.abstractmethod
+    def submit(self, client_id: str, op: Op) -> Signal:
+        """Accept one op; the returned signal fires when it completes on
+        the device."""
+
+    def devices(self) -> List[GpuDevice]:
+        """Devices this backend occupies (for cost accounting)."""
+        raise NotImplementedError
+
+    # --- optional hooks -------------------------------------------------
+    def begin_request(self, client_id: str) -> Optional[Signal]:
+        """Called at a request/iteration boundary.  A backend may return
+        a signal the client must wait on before issuing work (temporal
+        sharing's time-slice grant); None means proceed immediately."""
+        return None
+
+    def end_request(self, client_id: str) -> None:
+        """Request/iteration finished (after the client synchronized)."""
+
+    def phase_marker(self, client_id: str, phase: str) -> Optional[Signal]:
+        """Called at intra-iteration phase boundaries ("forward",
+        "backward", "update").  Tick-Tock gates here; others ignore."""
+        return None
+
+    def start(self) -> None:
+        """Start any scheduler processes (called once before the run)."""
+
+    def interception_overhead(self) -> float:
+        """Per-op host-side overhead this backend adds (seconds)."""
+        return 0.0
+
+    def _register(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
+        if client_id in self.clients:
+            raise ValueError(f"duplicate client id {client_id!r}")
+        info = ClientInfo(client_id, high_priority, kind)
+        self.clients[client_id] = info
+        return info

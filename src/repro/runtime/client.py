@@ -1,0 +1,119 @@
+"""Client-side CUDA-runtime facade.
+
+A :class:`ClientContext` is what a DNN framework "process" holds: it
+issues kernels and memory ops exactly as PyTorch issues CUDA runtime
+calls, and every call is intercepted by the active backend (Figure 5 in
+the paper).  Blocking semantics follow §5.1.3:
+
+* ``cudaMemcpy`` / ``cudaMemset``  — the client blocks until completion;
+* ``cudaMemcpyAsync``              — the client continues immediately;
+* ``cudaMalloc`` / ``cudaFree``    — device-synchronizing;
+* kernel launches                  — asynchronous.
+
+All methods are generators to be driven with ``yield from`` inside a
+simulated process; each consumes the host-side launch cost first.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from repro.kernels.kernel import KernelOp, MemoryOp, MemoryOpKind
+from repro.sim.process import Signal
+
+from .backend import Backend, Op
+from .host import HostThread
+
+__all__ = ["ClientContext"]
+
+
+class ClientContext:
+    """One client job's handle onto a backend."""
+
+    def __init__(
+        self,
+        backend: Backend,
+        client_id: str,
+        host: HostThread,
+        high_priority: bool = False,
+        kind: str = "inference",
+    ):
+        self.backend = backend
+        self.client_id = client_id
+        self.host = host
+        self.info = backend.register_client(client_id, high_priority, kind)
+        self._outstanding: List[Signal] = []
+        self.ops_issued = 0
+
+    # ------------------------------------------------------------------
+    # Launch primitives
+    # ------------------------------------------------------------------
+    def _issue(self, op: Op) -> Generator:
+        """Host cost + backend submit; returns the completion signal."""
+        yield from self.host.launch_cost()
+        op.client_id = self.client_id
+        done = self.backend.submit(self.client_id, op)
+        self.ops_issued += 1
+        self._outstanding.append(done)
+        return done
+
+    def launch_kernel(self, op: KernelOp) -> Generator:
+        """Asynchronous kernel launch (cudaLaunchKernel)."""
+        done = yield from self._issue(op)
+        return done
+
+    def memcpy(self, nbytes: int, kind: MemoryOpKind, blocking: bool = True) -> Generator:
+        """cudaMemcpy (blocking) / cudaMemcpyAsync (blocking=False)."""
+        if not kind.is_transfer:
+            raise ValueError(f"{kind} is not a transfer")
+        op = MemoryOp(kind=kind, nbytes=nbytes, blocking=blocking)
+        done = yield from self._issue(op)
+        if blocking:
+            yield done
+        return done
+
+    def memset(self, nbytes: int) -> Generator:
+        """cudaMemset — blocking."""
+        op = MemoryOp(kind=MemoryOpKind.MEMSET, nbytes=nbytes, blocking=True)
+        done = yield from self._issue(op)
+        yield done
+        return done
+
+    def malloc(self, nbytes: int) -> Generator:
+        """cudaMalloc — device-synchronizing and blocking."""
+        op = MemoryOp(kind=MemoryOpKind.MALLOC, nbytes=nbytes, blocking=True)
+        done = yield from self._issue(op)
+        yield done
+        return done
+
+    def free(self, nbytes: int) -> Generator:
+        """cudaFree — device-synchronizing and blocking."""
+        op = MemoryOp(kind=MemoryOpKind.FREE, nbytes=nbytes, blocking=True)
+        done = yield from self._issue(op)
+        yield done
+        return done
+
+    # ------------------------------------------------------------------
+    # Synchronization and request boundaries
+    # ------------------------------------------------------------------
+    def synchronize(self) -> Generator:
+        """Wait for every op this client has issued (cudaStreamSynchronize)."""
+        pending = [s for s in self._outstanding if not s.triggered]
+        self._outstanding = []
+        for signal in pending:
+            yield signal
+
+    def begin_request(self) -> Generator:
+        """Request/iteration start; may block under temporal sharing."""
+        gate = self.backend.begin_request(self.client_id)
+        if gate is not None:
+            yield gate
+
+    def end_request(self) -> None:
+        self.backend.end_request(self.client_id)
+
+    def phase(self, name: str) -> Generator:
+        """Intra-iteration phase boundary (forward / backward / update)."""
+        gate = self.backend.phase_marker(self.client_id, name)
+        if gate is not None:
+            yield gate

@@ -1,0 +1,76 @@
+"""Direct-submission backends.
+
+``DirectStreamBackend`` maps each client to its own CUDA stream on one
+shared device and submits ops straight through — this is the substrate
+for the GPU Streams, Priority Streams, and MPS baselines.
+
+``DedicatedBackend`` gives every client its own GPU: the paper's Ideal
+configuration (latency lower bound, throughput upper bound).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.gpu.device import GpuDevice
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+
+from .backend import Backend, ClientInfo, Op
+
+__all__ = ["DirectStreamBackend", "DedicatedBackend"]
+
+
+class DirectStreamBackend(Backend):
+    """One stream per client on a shared device; no software scheduling."""
+
+    name = "streams"
+
+    def __init__(self, sim: Simulator, device: GpuDevice, use_priorities: bool = False):
+        super().__init__(sim)
+        self.device = device
+        self.use_priorities = use_priorities
+        self._streams: Dict[str, object] = {}
+
+    def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
+        info = self._register(client_id, high_priority, kind)
+        priority = info.priority if self.use_priorities else 0
+        self._streams[client_id] = self.device.create_stream(
+            priority=priority, name=f"{client_id}-stream"
+        )
+        return info
+
+    def submit(self, client_id: str, op: Op) -> Signal:
+        return self._streams[client_id].submit(op)
+
+    def devices(self) -> List[GpuDevice]:
+        return [self.device]
+
+
+class DedicatedBackend(Backend):
+    """Each client gets a whole GPU to itself (the Ideal baseline)."""
+
+    name = "ideal"
+    process_per_client = True
+
+    def __init__(self, sim: Simulator, device_factory: Callable[[], GpuDevice]):
+        super().__init__(sim)
+        self._device_factory = device_factory
+        self._devices: Dict[str, GpuDevice] = {}
+        self._streams: Dict[str, object] = {}
+
+    def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
+        info = self._register(client_id, high_priority, kind)
+        device = self._device_factory()
+        self._devices[client_id] = device
+        self._streams[client_id] = device.create_stream(name=f"{client_id}-stream")
+        return info
+
+    def submit(self, client_id: str, op: Op) -> Signal:
+        return self._streams[client_id].submit(op)
+
+    def devices(self) -> List[GpuDevice]:
+        return list(self._devices.values())
+
+    def device_for(self, client_id: str) -> GpuDevice:
+        return self._devices[client_id]

@@ -1,0 +1,20 @@
+"""Discrete-event simulation substrate (engine, processes, seeded RNG)."""
+
+from .engine import ScheduledEvent, SimulationError, Simulator
+from .process import AllOf, AnyOf, Interrupted, Process, Signal, Timeout, spawn
+from .rng import RngFactory, substream_seed
+
+__all__ = [
+    "Simulator",
+    "ScheduledEvent",
+    "SimulationError",
+    "Process",
+    "Signal",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupted",
+    "spawn",
+    "RngFactory",
+    "substream_seed",
+]

@@ -1,0 +1,153 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is a classic event-calendar simulator: callbacks are scheduled
+at absolute simulated times and executed in (time, sequence) order, so
+runs are fully deterministic for a given seed and schedule.  On top of
+the raw calendar, :mod:`repro.sim.process` builds generator-based
+processes (``yield`` a wait or a condition), which is how clients,
+schedulers, and the GPU dispatcher are written.
+
+Time is a float in *seconds* of simulated GPU/host time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid use of the simulation engine."""
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    seq: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+class ScheduledEvent:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays in the calendar but is
+    skipped when popped.  ``cancel`` is O(1).
+    """
+
+    __slots__ = ("time", "callback", "cancelled", "fired")
+
+    def __init__(self, time: float, callback: Callable[[], None]):
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled and not self.fired
+
+
+class Simulator:
+    """Event calendar with a monotonically advancing clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.call_at(1.5, lambda: print("hello at t=1.5"))
+        sim.run()
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if math.isnan(time):
+            raise SimulationError("cannot schedule an event at NaN time")
+        if time < self._now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule in the past: t={time!r} < now={self._now!r}"
+            )
+        event = ScheduledEvent(max(time, self._now), callback)
+        heapq.heappush(self._heap, _HeapEntry(event.time, next(self._seq), event))
+        return event
+
+    def call_in(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.call_at(self._now + delay, callback)
+
+    def stop(self) -> None:
+        """Stop the run loop after the current event."""
+        self._stopped = True
+
+    def peek(self) -> Optional[float]:
+        """Time of the next active event, or None if the calendar is empty."""
+        while self._heap and not self._heap[0].event.active:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when none remain."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            event = entry.event
+            if not event.active:
+                continue
+            if event.time < self._now - 1e-15:
+                raise SimulationError("event calendar corrupted: time went backwards")
+            self._now = max(self._now, event.time)
+            event.fired = True
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the calendar drains, ``until`` is reached, or
+        ``max_events`` have been processed.  Returns the final clock.
+
+        When ``until`` is given the clock is advanced to exactly
+        ``until`` even if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while not self._stopped:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now

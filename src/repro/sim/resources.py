@@ -1,0 +1,56 @@
+"""FIFO resources for simulated processes (mutex with queued waiters)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .engine import Simulator
+from .process import Signal
+
+__all__ = ["FifoLock"]
+
+
+class FifoLock:
+    """A fair mutex: acquire() returns a signal fired when the lock is held.
+
+    Supports priority classes: waiters with a larger ``priority`` value
+    are granted the lock before lower-priority waiters, FIFO within a
+    class.  This is the substrate for the temporal-sharing baseline's
+    "prioritize the high-priority job's requests" behaviour.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._held = False
+        self._waiters: Deque[tuple[int, int, Signal]] = deque()
+        self._seq = 0
+        self.holder: Optional[str] = None
+
+    @property
+    def locked(self) -> bool:
+        return self._held
+
+    def acquire(self, priority: int = 0, holder: str = "") -> Signal:
+        """Request the lock; the returned signal fires when granted."""
+        granted = Signal(self.sim)
+        if not self._held and not self._waiters:
+            self._held = True
+            self.holder = holder
+            granted.trigger()
+            return granted
+        self._seq += 1
+        self._waiters.append((priority, self._seq, granted))
+        # Keep highest priority first, FIFO within priority.
+        self._waiters = deque(sorted(self._waiters, key=lambda w: (-w[0], w[1])))
+        return granted
+
+    def release(self) -> None:
+        if not self._held:
+            raise RuntimeError("release of a lock that is not held")
+        if self._waiters:
+            _, _, granted = self._waiters.popleft()
+            granted.trigger()
+        else:
+            self._held = False
+            self.holder = None

@@ -1,0 +1,60 @@
+"""Synthetic Apollo-style inference trace.
+
+The paper drives its high-priority inference job with a trace collected
+from a real object-detection deployment in the Apollo autonomous
+driving system (via the DISB benchmark).  That trace is not
+redistributable here, so we synthesize one with the same qualitative
+structure: a periodic sensing loop (cameras fire at a base rate) whose
+rate is modulated by driving phases (cruise / dense-scene bursts /
+idle), with per-frame jitter.  What matters for the scheduler is the
+burstiness — back-to-back requests probe queueing and interference
+exactly like the real trace does — and that property is preserved.
+
+The generator is fully determined by its seed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["apollo_trace", "APOLLO_BASE_RPS"]
+
+# Base sensing rate of the synthetic deployment (close to the DISB
+# Apollo detection stream's mean rate).
+APOLLO_BASE_RPS = 25.0
+
+# (relative rate multiplier, mean phase length in seconds)
+_PHASES = (
+    (1.0, 2.0),   # cruise: steady sensing
+    (2.5, 0.8),   # dense scene: burst of detections
+    (0.4, 1.2),   # idle/stopped: sparse frames
+)
+
+
+def apollo_trace(duration: float, seed: int = 0,
+                 base_rps: float = APOLLO_BASE_RPS) -> List[float]:
+    """Generate arrival timestamps in [0, duration)."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if base_rps <= 0:
+        raise ValueError("base_rps must be positive")
+    rng = np.random.default_rng(seed)
+    timestamps: List[float] = []
+    t = 0.0
+    while t < duration:
+        multiplier, mean_len = _PHASES[int(rng.integers(len(_PHASES)))]
+        phase_end = min(duration, t + float(rng.exponential(mean_len)))
+        rate = base_rps * multiplier
+        period = 1.0 / rate
+        while t < phase_end:
+            # Periodic sensing with ±20% per-frame jitter.
+            jitter = float(rng.uniform(-0.2, 0.2)) * period
+            t += max(period + jitter, 1e-4)
+            if t < duration:
+                timestamps.append(t)
+        # The inner loop leaves t at/after phase_end; never move it
+        # backwards or the trace would lose monotonicity.
+        t = max(t, phase_end)
+    return timestamps

@@ -1,0 +1,111 @@
+"""Request arrival processes (§6.1 of the paper).
+
+* Uniform — fixed inter-arrival time (autonomous-driving-style periodic
+  sensing).
+* Poisson — exponential inter-arrivals (event-driven serving); rates
+  follow the Azure Functions trace-derived RPS of Table 3.
+* Apollo — a synthetic stand-in for the DISB/Apollo object-detection
+  trace used for the high-priority job: periodic sensing with bursts
+  and jitter (see :mod:`repro.workloads.apollo`).
+* Closed loop — the next request is issued when the previous finishes
+  (training jobs, and the best-effort offline inference jobs).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = ["ArrivalProcess", "UniformArrivals", "PoissonArrivals",
+           "TraceArrivals", "ClosedLoop", "make_arrivals"]
+
+
+class ArrivalProcess(abc.ABC):
+    """Yields absolute arrival times (seconds), monotonically increasing."""
+
+    closed_loop = False
+
+    @abc.abstractmethod
+    def arrival_times(self, until: float) -> Iterator[float]:
+        """Arrival times in [0, until)."""
+
+
+class UniformArrivals(ArrivalProcess):
+    """Fixed-rate periodic arrivals."""
+
+    def __init__(self, rps: float, offset: float = 0.0):
+        if rps <= 0:
+            raise ValueError("rps must be positive")
+        self.rps = rps
+        self.offset = offset
+
+    def arrival_times(self, until: float) -> Iterator[float]:
+        # Multiply rather than accumulate: repeated float addition of
+        # the period drifts enough to emit a phantom arrival at ~until.
+        period = 1.0 / self.rps
+        n = 0
+        while True:
+            t = self.offset + n * period
+            if t >= until:
+                return
+            yield t
+            n += 1
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Exponential inter-arrival times with mean rate ``rps``."""
+
+    def __init__(self, rps: float, rng: Optional[np.random.Generator] = None):
+        if rps <= 0:
+            raise ValueError("rps must be positive")
+        self.rps = rps
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def arrival_times(self, until: float) -> Iterator[float]:
+        t = float(self.rng.exponential(1.0 / self.rps))
+        while t < until:
+            yield t
+            t += float(self.rng.exponential(1.0 / self.rps))
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replays a list of absolute timestamps (e.g. the Apollo trace)."""
+
+    def __init__(self, timestamps):
+        self.timestamps = sorted(float(t) for t in timestamps)
+        if any(t < 0 for t in self.timestamps):
+            raise ValueError("trace timestamps must be >= 0")
+
+    def arrival_times(self, until: float) -> Iterator[float]:
+        for t in self.timestamps:
+            if t >= until:
+                return
+            yield t
+
+
+class ClosedLoop(ArrivalProcess):
+    """Marker process: the client issues the next request on completion."""
+
+    closed_loop = True
+
+    def arrival_times(self, until: float) -> Iterator[float]:
+        return iter(())
+
+
+def make_arrivals(kind: str, rps: float = 0.0,
+                  rng: Optional[np.random.Generator] = None,
+                  timestamps=None) -> ArrivalProcess:
+    """Factory used by experiment configs."""
+    if kind == "uniform":
+        return UniformArrivals(rps)
+    if kind == "poisson":
+        return PoissonArrivals(rps, rng)
+    if kind == "trace":
+        if timestamps is None:
+            raise ValueError("trace arrivals need timestamps")
+        return TraceArrivals(timestamps)
+    if kind == "closed":
+        return ClosedLoop()
+    raise ValueError(f"unknown arrival kind {kind!r}")

@@ -1,0 +1,193 @@
+"""Client job processes: inference serving loops and training loops.
+
+An :class:`InferenceClient` receives requests from an arrival process
+into a pending queue and serves them one at a time (a model instance is
+sequential); latency is completion minus *arrival*, so queueing delay —
+the head-of-line blocking that kills temporal sharing in the paper —
+is part of the measurement.  A :class:`TrainingClient` runs minibatch
+iterations in a closed loop, emitting forward/backward/update phase
+markers that the Tick-Tock baseline gates on.
+
+Both clients allocate their GPU state with ``cudaMalloc`` before
+serving, mirroring framework startup.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional
+
+from repro.frameworks.lowering import OpPlan, instantiate_plan
+from repro.gpu.specs import DeviceSpec
+from repro.kernels.kernel import KernelOp
+from repro.runtime.client import ClientContext
+from repro.sim.engine import Simulator
+from repro.sim.process import Process, Signal, spawn
+
+from .arrivals import ArrivalProcess, ClosedLoop
+
+__all__ = ["RequestRecord", "InferenceClient", "TrainingClient", "ClientStats"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Timing of one completed request/iteration."""
+
+    arrival: float
+    start: float
+    end: float
+
+    @property
+    def latency(self) -> float:
+        return self.end - self.arrival
+
+    @property
+    def service_time(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class ClientStats:
+    """Raw per-client results of one run."""
+
+    name: str
+    kind: str
+    records: List[RequestRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def completed(self, after: float = 0.0) -> List[RequestRecord]:
+        return [r for r in self.records if r.arrival >= after]
+
+
+class _BaseClient:
+    def __init__(self, sim: Simulator, ctx: ClientContext, plan: OpPlan,
+                 device_spec: DeviceSpec, name: str):
+        self.sim = sim
+        self.ctx = ctx
+        self.plan = plan
+        self.device_spec = device_spec
+        self.name = name
+        self.stats = ClientStats(name=name, kind=plan.kind)
+        self._process: Optional[Process] = None
+
+    def _startup(self):
+        """Allocate resident model state (weights, workspace)."""
+        yield from self.ctx.malloc(self.plan.state_bytes)
+
+    def _run_ops(self, ops):
+        """Launch one request's ops with CUDA blocking semantics."""
+        for op in ops:
+            if isinstance(op, KernelOp):
+                yield from self.ctx.launch_kernel(op)
+            else:
+                # MemoryOp copies go through the dedicated entry points.
+                yield from self.ctx.memcpy(op.nbytes, op.kind, blocking=op.blocking)
+        yield from self.ctx.synchronize()
+
+
+class InferenceClient(_BaseClient):
+    """Serves inference requests from an arrival process, FIFO."""
+
+    def __init__(self, sim: Simulator, ctx: ClientContext, plan: OpPlan,
+                 device_spec: DeviceSpec, arrivals: ArrivalProcess,
+                 name: str, horizon: float):
+        super().__init__(sim, ctx, plan, device_spec, name)
+        self.arrivals = arrivals
+        self.horizon = horizon
+        self._pending: Deque[float] = deque()
+        self._work = Signal(sim)
+
+    def start(self) -> None:
+        if not isinstance(self.arrivals, ClosedLoop):
+            spawn(self.sim, self._arrival_loop(), f"{self.name}-arrivals")
+        self._process = spawn(self.sim, self._serve_loop(), f"{self.name}-serve")
+
+    def _arrival_loop(self):
+        from repro.sim.process import Timeout
+
+        last = 0.0
+        for t in self.arrivals.arrival_times(self.horizon):
+            if t > last:
+                yield Timeout(t - last)
+                last = t
+            self._pending.append(t)
+            if not self._work.triggered:
+                self._work.trigger()
+
+    def _serve_loop(self):
+        from repro.sim.process import Timeout
+
+        yield from self._startup()
+        closed = isinstance(self.arrivals, ClosedLoop)
+        while True:
+            if closed:
+                arrival = self.sim.now
+            else:
+                while not self._pending:
+                    self._work = Signal(self.sim)
+                    yield self._work
+                arrival = self._pending.popleft()
+            yield from self.ctx.begin_request()
+            start = self.sim.now
+            ops = instantiate_plan(self.plan, self.device_spec,
+                                   client_id=self.ctx.client_id)
+            yield from self._run_ops(ops)
+            self.ctx.end_request()
+            self.stats.records.append(RequestRecord(arrival, start, self.sim.now))
+            if closed and self.sim.now >= self.horizon:
+                return
+            # Tiny host-side gap between requests in closed loop.
+            if closed:
+                yield Timeout(1e-5)
+
+
+class TrainingClient(_BaseClient):
+    """Runs training iterations in a closed loop with phase markers."""
+
+    def __init__(self, sim: Simulator, ctx: ClientContext, plan: OpPlan,
+                 device_spec: DeviceSpec, name: str, horizon: float):
+        if plan.kind != "training":
+            raise ValueError(f"TrainingClient needs a training plan, got {plan.kind}")
+        super().__init__(sim, ctx, plan, device_spec, name)
+        self.horizon = horizon
+
+    def start(self) -> None:
+        self._process = spawn(self.sim, self._train_loop(), f"{self.name}-train")
+
+    def _iteration_ops(self):
+        # Training inputs are prefetched: the minibatch H2D copy is
+        # asynchronous and overlaps compute (standard input pipelining;
+        # the paper's §6.1 setup eliminates input stalls).
+        ops = instantiate_plan(self.plan, self.device_spec,
+                               client_id=self.ctx.client_id,
+                               async_copies=True)
+        phases = {"copy": [], "forward": [], "backward": [], "update": []}
+        for op in ops:
+            phases[op.tag if op.tag in phases else "forward"].append(op)
+        return phases
+
+    def _train_loop(self):
+        yield from self._startup()
+        while self.sim.now < self.horizon:
+            yield from self.ctx.begin_request()
+            start = self.sim.now
+            phases = self._iteration_ops()
+            yield from self.ctx.phase("forward")
+            for op in phases["copy"] + phases["forward"]:
+                yield from self._launch(op)
+            yield from self.ctx.phase("backward")
+            for op in phases["backward"]:
+                yield from self._launch(op)
+            yield from self.ctx.phase("update")
+            for op in phases["update"]:
+                yield from self._launch(op)
+            yield from self.ctx.synchronize()
+            self.ctx.end_request()
+            self.stats.records.append(RequestRecord(start, start, self.sim.now))
+
+    def _launch(self, op):
+        if isinstance(op, KernelOp):
+            yield from self.ctx.launch_kernel(op)
+        else:
+            yield from self.ctx.memcpy(op.nbytes, op.kind, blocking=op.blocking)

@@ -1,0 +1,36 @@
+"""BERT (Devlin et al. 2019), NVIDIA DeepLearningExamples-style.
+
+The paper uses BERT-large for inference (batch size 2) and BERT-base
+("BERT-basic") for training (batch size 8); both take 128-token
+sequences.  Dense GEMM stacks make BERT the most compute-intensive
+workload in Table 1 (72% compute throughput at inference).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers.nlp import Embedding, LayerNorm, TransformerEncoderLayer
+from repro.frameworks.layers.vision import Linear
+from repro.frameworks.module import Module, Sequential
+
+__all__ = ["bert_base", "bert_large", "bert", "BERT_SEQ_LEN"]
+
+BERT_SEQ_LEN = 128
+BERT_VOCAB = 30522
+
+
+def bert(layers: int, hidden: int, heads: int, ffn: int) -> Module:
+    """Encoder-only BERT: embeddings, N encoder layers, pooler head."""
+    modules = [Embedding(BERT_VOCAB, hidden), LayerNorm(hidden)]
+    modules.extend(
+        TransformerEncoderLayer(hidden, heads, ffn) for _ in range(layers)
+    )
+    modules.append(Linear(hidden, hidden))  # pooler
+    return Sequential(*modules)
+
+
+def bert_base() -> Module:
+    return bert(layers=12, hidden=768, heads=12, ffn=3072)
+
+
+def bert_large() -> Module:
+    return bert(layers=24, hidden=1024, heads=16, ffn=4096)

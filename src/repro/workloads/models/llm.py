@@ -1,0 +1,154 @@
+"""LLM token-generation workload (paper §7 extension).
+
+The paper's discussion section observes that the sequential token-
+generation phase of LLM inference is *memory-bound* — every decode
+step streams the full weight matrices to produce one token — leaving
+compute throughput and SMs underutilized, and proposes applying Orion's
+resource-aware policy to collocate LLM inference with compute-intensive
+workloads.  This module implements that workload so the proposal can be
+evaluated:
+
+* a prefill phase (standard batched transformer forward over the
+  prompt — compute-leaning), followed by
+* ``gen_tokens`` decode steps, each a stack of GEMV-shaped kernels
+  (m = batch size) plus a KV-cache attention scan.  At small batch the
+  cost model classifies these memory-bound, matching the §7 claim.
+
+The KV cache contributes to the job's resident state, which is why LLMs
+are a poor fit for naive GPU sharing (§3) — the plan's ``state_bytes``
+reflects weights + cache.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.frameworks.lowering import OpPlan, PlannedOp
+from repro.frameworks.specbuild import FP32_BYTES, gemm_spec, softmax_spec
+from repro.frameworks.module import Namer
+from repro.kernels.kernel import KernelSpec, MemoryOpKind
+
+__all__ = ["LlmConfig", "llm_generation_plan", "LLM_SMALL"]
+
+
+class LlmConfig:
+    """Decoder-only transformer configuration."""
+
+    def __init__(self, layers: int = 24, hidden: int = 2048, heads: int = 16,
+                 ffn: int = 8192, vocab: int = 32000, name: str = "llm"):
+        if hidden % heads != 0:
+            raise ValueError(f"hidden {hidden} not divisible by heads {heads}")
+        if min(layers, hidden, heads, ffn, vocab) < 1:
+            raise ValueError("LLM dimensions must be >= 1")
+        self.layers = layers
+        self.hidden = hidden
+        self.heads = heads
+        self.ffn = ffn
+        self.vocab = vocab
+        self.name = name
+
+    @property
+    def params(self) -> int:
+        per_layer = 4 * self.hidden**2 + 2 * self.hidden * self.ffn
+        return self.layers * per_layer + self.vocab * self.hidden
+
+    def kv_cache_bytes(self, batch: int, tokens: int) -> int:
+        # K and V per layer per token: 2 * hidden fp32 values.
+        return FP32_BYTES * 2 * self.layers * self.hidden * batch * tokens
+
+
+# A laptop-scale config whose decode step still moves ~0.5 GB of
+# weights — firmly memory-bound, like real LLM decoding.
+LLM_SMALL = LlmConfig(layers=16, hidden=1536, heads=12, ffn=6144,
+                      name="llm-small")
+
+
+def _decode_step_specs(config: LlmConfig, batch: int, cache_len: int,
+                       namer: Namer) -> List[KernelSpec]:
+    """Kernels for generating one token (seq position = cache_len)."""
+    h, ffn = config.hidden, config.ffn
+    specs: List[KernelSpec] = []
+    for _layer in range(config.layers):
+        # GEMV-shaped projections: m = batch rows against the full
+        # weight matrices -> arithmetic intensity ~ batch, memory bound
+        # for small batches.
+        specs.append(gemm_spec(namer.name("dec_qkv"), batch, 3 * h, h))
+        # KV-cache attention: stream the cache (memory bound).
+        cache_values = 2 * h * max(cache_len, 1)
+        specs.append(KernelSpec(
+            name=namer.name("dec_attn_cache"),
+            flops=2.0 * batch * h * max(cache_len, 1),
+            bytes_moved=FP32_BYTES * batch * cache_values,
+            launch=gemm_spec("probe", batch, h, max(cache_len, 1)).launch,
+            compute_efficiency=0.50,
+            memory_efficiency=0.85,
+        ))
+        specs.append(softmax_spec(namer.name("dec_softmax"),
+                                  batch * config.heads * max(cache_len, 1)))
+        specs.append(gemm_spec(namer.name("dec_out"), batch, h, h))
+        specs.append(gemm_spec(namer.name("dec_ffn_in"), batch, ffn, h))
+        specs.append(gemm_spec(namer.name("dec_ffn_out"), batch, h, ffn))
+    # LM head over the final hidden state.
+    specs.append(gemm_spec(namer.name("dec_lm_head"), batch, config.vocab, h))
+    return specs
+
+
+def _prefill_specs(config: LlmConfig, batch: int, prompt_len: int,
+                   namer: Namer) -> List[KernelSpec]:
+    """Standard batched forward over the prompt (compute-leaning)."""
+    rows = batch * prompt_len
+    h, ffn = config.hidden, config.ffn
+    specs: List[KernelSpec] = []
+    for _layer in range(config.layers):
+        specs.append(gemm_spec(namer.name("pre_qkv"), rows, 3 * h, h))
+        specs.append(gemm_spec(namer.name("pre_scores"), prompt_len,
+                               prompt_len, h // config.heads,
+                               batch=batch * config.heads))
+        specs.append(softmax_spec(namer.name("pre_softmax"),
+                                  batch * config.heads * prompt_len**2))
+        specs.append(gemm_spec(namer.name("pre_context"), prompt_len,
+                               h // config.heads, prompt_len,
+                               batch=batch * config.heads))
+        specs.append(gemm_spec(namer.name("pre_out"), rows, h, h))
+        specs.append(gemm_spec(namer.name("pre_ffn_in"), rows, ffn, h))
+        specs.append(gemm_spec(namer.name("pre_ffn_out"), rows, h, ffn))
+    return specs
+
+
+def llm_generation_plan(config: LlmConfig = LLM_SMALL, batch: int = 1,
+                        prompt_len: int = 128, gen_tokens: int = 16) -> OpPlan:
+    """One LLM serving request: prefill + ``gen_tokens`` decode steps.
+
+    Decode-step kernel ids are shared across steps of the same cache
+    bucket so the offline profile stays compact, exactly as a real
+    deployment would profile per-shape kernels once.
+    """
+    if min(batch, prompt_len, gen_tokens) < 1:
+        raise ValueError("batch, prompt_len, gen_tokens must be >= 1")
+    model_name = f"{config.name}-b{batch}-p{prompt_len}-g{gen_tokens}"
+    namer = Namer(model_name)
+    ops: List[PlannedOp] = [
+        PlannedOp("copy", copy_bytes=FP32_BYTES * batch * prompt_len,
+                  copy_kind=MemoryOpKind.MEMCPY_H2D)
+    ]
+    ops.extend(PlannedOp("forward", spec=s)
+               for s in _prefill_specs(config, batch, prompt_len, namer))
+    # Decode steps reuse one kernel set per power-of-two cache bucket.
+    bucket_specs = {}
+    for step in range(gen_tokens):
+        cache_len = prompt_len + step
+        bucket = 2 ** int(math.ceil(math.log2(max(cache_len, 1))))
+        if bucket not in bucket_specs:
+            bucket_namer = Namer(f"{model_name}/cache{bucket}")
+            bucket_specs[bucket] = _decode_step_specs(
+                config, batch, bucket, bucket_namer
+            )
+        ops.extend(PlannedOp("decode", spec=s) for s in bucket_specs[bucket])
+    out_bytes = FP32_BYTES * batch * gen_tokens
+    ops.append(PlannedOp("output", copy_bytes=out_bytes,
+                         copy_kind=MemoryOpKind.MEMCPY_D2H))
+    state = (FP32_BYTES * config.params
+             + config.kv_cache_bytes(batch, prompt_len + gen_tokens))
+    return OpPlan(model_name, "inference", batch, ops, config.params,
+                  FP32_BYTES * batch * prompt_len, state)

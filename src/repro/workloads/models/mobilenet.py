@@ -1,0 +1,74 @@
+"""MobileNetV2 (Sandler et al. 2018), TorchVision-style.
+
+Inverted residual blocks with depthwise convolutions, which is why this
+model skews memory-bound (Figure 4 of the paper) and shows the lowest
+compute throughput utilization in Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers.vision import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    ReLU,
+)
+from repro.frameworks.module import Module, Residual, Sequential
+
+__all__ = ["mobilenet_v2", "INVERTED_RESIDUAL_SETTINGS"]
+
+# (expansion t, output channels c, repeats n, first stride s)
+INVERTED_RESIDUAL_SETTINGS = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _inverted_residual(c_in: int, c_out: int, stride: int, expand: int) -> Module:
+    """Expand 1x1 -> depthwise 3x3 -> project 1x1, skip when shapes match."""
+    hidden = c_in * expand
+    layers = []
+    if expand != 1:
+        layers.extend([Conv2d(c_in, hidden, 1), BatchNorm2d(hidden), ReLU()])
+    layers.extend(
+        [
+            DepthwiseConv2d(hidden, 3, stride=stride, padding=1),
+            BatchNorm2d(hidden),
+            ReLU(),
+            Conv2d(hidden, c_out, 1),
+            BatchNorm2d(c_out),
+        ]
+    )
+    body = Sequential(*layers)
+    if stride == 1 and c_in == c_out:
+        return Residual(body)
+    return body
+
+
+def mobilenet_v2() -> Module:
+    layers = [Conv2d(3, 32, 3, stride=2, padding=1), BatchNorm2d(32), ReLU()]
+    c_in = 32
+    for expand, c_out, repeats, first_stride in INVERTED_RESIDUAL_SETTINGS:
+        for block in range(repeats):
+            stride = first_stride if block == 0 else 1
+            layers.append(_inverted_residual(c_in, c_out, stride, expand))
+            c_in = c_out
+    layers.extend(
+        [
+            Conv2d(c_in, 1280, 1),
+            BatchNorm2d(1280),
+            ReLU(),
+            GlobalAvgPool2d(),
+            Flatten(),
+            Linear(1280, 1000),
+        ]
+    )
+    return Sequential(*layers)

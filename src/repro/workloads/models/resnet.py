@@ -1,0 +1,70 @@
+"""ResNet-50 / ResNet-101 (He et al. 2016), TorchVision-style.
+
+Standard bottleneck residual networks over 224x224 inputs.  Stage
+configuration: ResNet-50 = [3, 4, 6, 3], ResNet-101 = [3, 4, 23, 3].
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers.vision import (
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.frameworks.module import Module, Residual, Sequential
+
+__all__ = ["resnet50", "resnet101", "resnet"]
+
+
+def _bottleneck(c_in: int, width: int, stride: int) -> Module:
+    """1x1 reduce -> 3x3 -> 1x1 expand (4x) with BN/ReLU, plus skip."""
+    c_out = 4 * width
+    body = Sequential(
+        Conv2d(c_in, width, 1),
+        BatchNorm2d(width),
+        ReLU(),
+        Conv2d(width, width, 3, stride=stride, padding=1),
+        BatchNorm2d(width),
+        ReLU(),
+        Conv2d(width, c_out, 1),
+        BatchNorm2d(c_out),
+    )
+    projection = None
+    if stride != 1 or c_in != c_out:
+        projection = Sequential(
+            Conv2d(c_in, c_out, 1, stride=stride), BatchNorm2d(c_out)
+        )
+    return Sequential(Residual(body, projection), ReLU())
+
+
+def resnet(stage_blocks, name: str) -> Module:
+    """Build a bottleneck ResNet with the given per-stage block counts."""
+    if len(stage_blocks) != 4:
+        raise ValueError(f"{name}: expected 4 stages, got {len(stage_blocks)}")
+    layers = [
+        Conv2d(3, 64, 7, stride=2, padding=3),
+        BatchNorm2d(64),
+        ReLU(),
+        MaxPool2d(3, stride=2, padding=1),
+    ]
+    c_in = 64
+    for stage, blocks in enumerate(stage_blocks):
+        width = 64 * (2**stage)
+        for block in range(blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            layers.append(_bottleneck(c_in, width, stride))
+            c_in = 4 * width
+    layers.extend([GlobalAvgPool2d(), Flatten(), Linear(2048, 1000)])
+    return Sequential(*layers)
+
+
+def resnet50() -> Module:
+    return resnet([3, 4, 6, 3], "resnet50")
+
+
+def resnet101() -> Module:
+    return resnet([3, 4, 23, 3], "resnet101")

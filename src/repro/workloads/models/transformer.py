@@ -1,0 +1,27 @@
+"""Transformer-XL-style language model (NVIDIA DeepLearningExamples).
+
+Approximated as a deep decoder-only stack: 16 layers, d_model 512,
+8 heads, FFN 2048, 192-token segments — matching the memory-bound
+profile Table 1 reports for the paper's "Transformer" workload.
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.layers.nlp import Embedding, LayerNorm, TransformerEncoderLayer
+from repro.frameworks.layers.vision import Linear
+from repro.frameworks.module import Module, Sequential
+
+__all__ = ["transformer_xl", "TRANSFORMER_SEQ_LEN"]
+
+TRANSFORMER_SEQ_LEN = 192
+TRANSFORMER_VOCAB = 32000
+
+
+def transformer_xl(layers: int = 16, hidden: int = 512, heads: int = 8,
+                   ffn: int = 2048) -> Module:
+    modules = [Embedding(TRANSFORMER_VOCAB, hidden), LayerNorm(hidden)]
+    modules.extend(
+        TransformerEncoderLayer(hidden, heads, ffn) for _ in range(layers)
+    )
+    modules.append(Linear(hidden, TRANSFORMER_VOCAB))  # LM head
+    return Sequential(*modules)

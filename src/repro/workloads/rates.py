@@ -1,0 +1,29 @@
+"""Table 3 of the paper: requests per second for DNN inference jobs.
+
+Rates are derived by the authors from the top-20 most frequently
+invoked functions of the Microsoft Azure Functions trace; we use the
+published constants verbatim.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLE3_RPS", "rps_for"]
+
+# model -> {scenario: rps}
+TABLE3_RPS = {
+    "resnet50": {"inf_inf_uniform": 80, "inf_inf_poisson": 50, "inf_train_poisson": 15},
+    "mobilenet_v2": {"inf_inf_uniform": 100, "inf_inf_poisson": 65, "inf_train_poisson": 40},
+    "resnet101": {"inf_inf_uniform": 40, "inf_inf_poisson": 25, "inf_train_poisson": 9},
+    "bert": {"inf_inf_uniform": 8, "inf_inf_poisson": 5, "inf_train_poisson": 4},
+    "transformer": {"inf_inf_uniform": 20, "inf_inf_poisson": 12, "inf_train_poisson": 8},
+}
+
+
+def rps_for(model: str, scenario: str) -> float:
+    """Look up the Table 3 rate for ``model`` in ``scenario``."""
+    try:
+        return float(TABLE3_RPS[model][scenario])
+    except KeyError:
+        raise KeyError(
+            f"no Table 3 rate for model={model!r}, scenario={scenario!r}"
+        ) from None

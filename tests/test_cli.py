@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_model():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["inf-train", "--hp", "alexnet",
+                                   "--be", "resnet50"])
+
+
+def test_inf_train_cli_runs(capsys):
+    rc = main(["inf-train", "--hp", "mobilenet_v2", "--be", "mobilenet_v2",
+               "--backend", "orion", "--duration", "1.0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "hp-mobilenet_v2-inference" in out
+    assert "scheduler" in out
+
+
+def test_inf_inf_cli_json_output(capsys):
+    rc = main(["inf-inf", "--hp", "mobilenet_v2", "--be", "mobilenet_v2",
+               "--backend", "mps", "--duration", "1.0", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    jobs = [k for k in payload if k != "backend_stats"]
+    assert len(jobs) == 2
+    assert all("p99_ms" in payload[j] for j in jobs)
+
+
+def test_train_train_cli_with_sm_threshold(capsys):
+    rc = main(["train-train", "--hp", "mobilenet_v2", "--be", "mobilenet_v2",
+               "--backend", "orion", "--duration", "1.0",
+               "--sm-threshold", "160"])
+    assert rc == 0
+    assert "BE" in capsys.readouterr().out
+
+
+def test_profile_cli(capsys, tmp_path):
+    out_path = tmp_path / "prof.json"
+    rc = main(["profile", "--model", "mobilenet_v2", "--kind", "inference",
+               "--out", str(out_path)])
+    assert rc == 0
+    assert out_path.exists()
+    data = json.loads(out_path.read_text())
+    assert data["model_name"].startswith("mobilenet_v2")

@@ -1,0 +1,164 @@
+"""Tests for interference-aware cluster placement (§7 extension)."""
+
+import pytest
+
+from repro.cluster.placement import (
+    JobSignature,
+    pair_interference,
+    plan_placement,
+    placement_summary,
+    signature_of,
+)
+from repro.experiments.runner import get_profile
+from repro.gpu.specs import V100_16GB
+
+
+def sig(name, compute, memory, busy=1.0):
+    return JobSignature(name, compute, memory, busy)
+
+
+# ----------------------------------------------------------------------
+# Signatures
+# ----------------------------------------------------------------------
+def test_signature_from_real_profile():
+    profile = get_profile("resnet50", "training", V100_16GB)
+    signature = signature_of(profile)
+    assert signature.name == "resnet50-train-b32:training"
+    assert 0 < signature.compute < 1
+    assert 0 < signature.memory < 1
+    assert signature.busy_time > 0
+
+
+def test_signature_rejects_empty_profile():
+    from repro.profiler.profiles import ModelProfile
+
+    empty = ModelProfile("x", "inference", "V100-16GB", 1e-3)
+    with pytest.raises(ValueError):
+        signature_of(empty)
+
+
+# ----------------------------------------------------------------------
+# Pair interference
+# ----------------------------------------------------------------------
+def test_identical_heavy_jobs_interfere_most():
+    a = sig("a", 0.8, 0.1)
+    b = sig("b", 0.8, 0.1)
+    c = sig("c", 0.1, 0.8)
+    assert pair_interference(a, b) > pair_interference(a, c)
+
+
+def test_interference_bounded():
+    heavy = sig("h", 1.0, 1.0)
+    assert 0 <= pair_interference(heavy, heavy) <= 1.0
+
+
+def test_light_jobs_interfere_little():
+    light_a = sig("a", 0.05, 0.02)
+    light_b = sig("b", 0.05, 0.02)
+    assert pair_interference(light_a, light_b) < 0.2
+
+
+def test_zero_demand_is_free():
+    idle = sig("idle", 0.0, 0.0)
+    busy = sig("busy", 0.9, 0.3)
+    assert pair_interference(idle, busy) == 0.0
+
+
+def test_interference_symmetric():
+    a = sig("a", 0.7, 0.2)
+    b = sig("b", 0.3, 0.6)
+    assert pair_interference(a, b) == pytest.approx(pair_interference(b, a))
+
+
+# ----------------------------------------------------------------------
+# Placement
+# ----------------------------------------------------------------------
+def test_placement_pairs_complementary_profiles():
+    jobs = [
+        sig("compute-1", 0.8, 0.1),
+        sig("compute-2", 0.7, 0.15),
+        sig("memory-1", 0.1, 0.8),
+        sig("memory-2", 0.15, 0.7),
+    ]
+    placements = plan_placement(jobs, num_gpus=2)
+    for p in placements:
+        kinds = {j.name.split("-")[0] for j in p.jobs}
+        assert kinds == {"compute", "memory"}, placement_summary(placements)
+
+
+def test_placement_uses_empty_gpus_before_packing():
+    jobs = [sig("a", 0.8, 0.1), sig("b", 0.8, 0.1)]
+    placements = plan_placement(jobs, num_gpus=2)
+    assert len(placements) == 2
+    assert all(len(p.jobs) == 1 for p in placements)
+    assert all(p.interference == 0.0 for p in placements)
+
+
+def test_placement_packs_when_forced():
+    jobs = [sig("a", 0.8, 0.1), sig("b", 0.8, 0.1)]
+    placements = plan_placement(jobs, num_gpus=1)
+    assert len(placements) == 1
+    assert len(placements[0].jobs) == 2
+    assert placements[0].interference > 0.5
+
+
+def test_placement_rejects_overflow():
+    jobs = [sig(f"j{i}", 0.5, 0.5) for i in range(5)]
+    with pytest.raises(ValueError):
+        plan_placement(jobs, num_gpus=2, max_per_gpu=2)
+
+
+def test_placement_validation():
+    with pytest.raises(ValueError):
+        plan_placement([], num_gpus=0)
+
+
+def test_placement_with_real_zoo_profiles():
+    """Pack the paper's workloads: trainers pair with opposite profiles."""
+    names = [("resnet50", "training"), ("mobilenet_v2", "training"),
+             ("bert", "inference"), ("mobilenet_v2", "inference")]
+    jobs = [signature_of(get_profile(m, k, V100_16GB), name=f"{m}:{k}")
+            for m, k in names]
+    placements = plan_placement(jobs, num_gpus=2)
+    assert sum(len(p.jobs) for p in placements) == 4
+    # Every GPU's predicted interference beats the worst-case pairing.
+    worst = max(pair_interference(a, b)
+                for i, a in enumerate(jobs) for b in jobs[i + 1:])
+    for p in placements:
+        assert p.interference <= worst
+
+
+def test_placement_summary_rows():
+    jobs = [sig("a", 0.8, 0.1), sig("b", 0.1, 0.8)]
+    placements = plan_placement(jobs, num_gpus=1)
+    rows = placement_summary(placements)
+    assert rows[0][0] == 0
+    assert "a" in rows[0][1] and "b" in rows[0][1]
+
+
+# ----------------------------------------------------------------------
+# End-to-end: predicted interference matches measured collocation cost
+# ----------------------------------------------------------------------
+def test_prediction_matches_measured_collocation():
+    """The placement score's ordering agrees with the simulator: the
+    pair predicted to interfere more loses more high-priority training
+    throughput when actually collocated."""
+    from repro.experiments.registry import train_train_config
+    from repro.experiments.runner import run_experiment, solo_throughput
+
+    hp = "resnet50"
+    partners = ("resnet101", "mobilenet_v2")  # compute-ish vs memory-ish
+    hp_sig = signature_of(get_profile(hp, "training", V100_16GB))
+    predicted = {}
+    measured = {}
+    for be in partners:
+        be_sig = signature_of(get_profile(be, "training", V100_16GB))
+        predicted[be] = pair_interference(hp_sig, be_sig)
+        config = train_train_config(hp, be, "mps", duration=2.5)
+        config.warmup = 0.4
+        result = run_experiment(config)
+        measured[be] = 1.0 - result.hp_job.throughput / solo_throughput(
+            hp, "training")
+    ranked_by_prediction = sorted(partners, key=predicted.get)
+    ranked_by_measurement = sorted(partners, key=measured.get)
+    assert ranked_by_prediction == ranked_by_measurement

@@ -1,0 +1,99 @@
+"""Tests for the SM_THRESHOLD binary-search autotuner (§5.1.1)."""
+
+import pytest
+
+from repro.core.autotune import SmThresholdTuner, TunerConfig
+from repro.core.scheduler import OrionBackend, OrionConfig
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import V100_16GB
+from repro.profiler.profiles import KernelProfile, ModelProfile, ProfileStore
+from repro.runtime.client import ClientContext
+from repro.runtime.host import HostThread
+from repro.sim.engine import Simulator
+from repro.sim.process import Timeout, spawn
+
+from helpers import compute_spec, make_kernel
+
+
+def make_backend(sim):
+    device = GpuDevice(sim, V100_16GB)
+    backend = OrionBackend(sim, device, ProfileStore(),
+                           OrionConfig(hp_request_latency=10e-3))
+    ClientContext(backend, "hp", HostThread(sim), high_priority=True)
+    backend.start()
+    return backend
+
+
+def test_tuner_config_validation():
+    with pytest.raises(ValueError):
+        TunerConfig(tolerance=0.0)
+    with pytest.raises(ValueError):
+        TunerConfig(tolerance=1.0)
+    with pytest.raises(ValueError):
+        TunerConfig(window=0.0)
+
+
+def test_tuner_rejects_bad_dedicated_throughput():
+    sim = Simulator()
+    backend = make_backend(sim)
+    with pytest.raises(ValueError):
+        SmThresholdTuner(sim, backend, dedicated_hp_throughput=0.0)
+
+
+def test_tuner_search_range_includes_largest_kernel():
+    sim = Simulator()
+    backend = make_backend(sim)
+    tuner = SmThresholdTuner(sim, backend, 10.0, be_max_sm=80)
+    # Strict-inequality policy: search must reach max + 1.
+    assert tuner.be_max_sm == 81
+
+
+def test_tuner_converges_up_when_hp_unaffected():
+    """If HP throughput always meets the target, the search maxes out."""
+    sim = Simulator()
+    backend = make_backend(sim)
+    tuner = SmThresholdTuner(sim, backend, dedicated_hp_throughput=10.0,
+                             be_max_sm=40,
+                             config=TunerConfig(tolerance=0.2, window=0.1))
+
+    def hp_traffic():
+        # Complete HP "requests" fast enough to always meet the target.
+        while sim.now < 2.0:
+            backend.begin_request("hp")
+            yield Timeout(0.05)
+            backend.end_request("hp")
+
+    spawn(sim, hp_traffic())
+    tuner.start()
+    sim.run(until=2.0)
+    assert tuner.final_threshold == 41
+    assert backend.config.sm_threshold == 41
+    assert all(step.accepted for step in tuner.history)
+
+
+def test_tuner_converges_down_when_hp_always_degraded():
+    """If HP throughput never meets the target, the search bottoms out."""
+    sim = Simulator()
+    backend = make_backend(sim)
+    tuner = SmThresholdTuner(sim, backend, dedicated_hp_throughput=1000.0,
+                             be_max_sm=40,
+                             config=TunerConfig(tolerance=0.1, window=0.1))
+    tuner.start()
+    sim.run(until=2.0)
+    assert tuner.final_threshold == 0
+    assert backend.config.sm_threshold == 1  # clamped floor
+    assert not any(step.accepted for step in tuner.history)
+
+
+def test_tuner_history_records_every_probe():
+    sim = Simulator()
+    backend = make_backend(sim)
+    tuner = SmThresholdTuner(sim, backend, dedicated_hp_throughput=1000.0,
+                             be_max_sm=16,
+                             config=TunerConfig(tolerance=0.1, window=0.05))
+    tuner.start()
+    sim.run(until=1.0)
+    # Binary search over [0, 17] takes ~5 probes.
+    assert 3 <= len(tuner.history) <= 6
+    probed = [step.threshold for step in tuner.history]
+    assert len(set(probed)) == len(probed)  # no repeated probes

@@ -1,0 +1,134 @@
+"""Unit tests for Orion's policy decision functions (Listing 1)."""
+
+import pytest
+
+from repro.core.policy import (
+    DEFAULT_DUR_THRESHOLD_FRAC,
+    PolicyConfig,
+    duration_throttled,
+    have_different_profiles,
+    schedule_be,
+)
+from repro.kernels.kernel import ResourceProfile
+from repro.profiler.profiles import KernelProfile
+
+C = ResourceProfile.COMPUTE
+M = ResourceProfile.MEMORY
+U = ResourceProfile.UNKNOWN
+
+
+def be_kernel(profile=M, sm=10, duration=1e-4):
+    return KernelProfile("be-k", duration, 0.5, 0.5, sm, profile)
+
+
+# ----------------------------------------------------------------------
+# have_different_profiles
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("hp,be,expected", [
+    (C, C, False),
+    (M, M, False),
+    (C, M, True),
+    (M, C, True),
+    (U, C, True),
+    (U, M, True),
+    (C, U, True),
+    (M, U, True),
+    (U, U, True),
+])
+def test_profile_compatibility_table(hp, be, expected):
+    assert have_different_profiles(hp, be) is expected
+
+
+# ----------------------------------------------------------------------
+# schedule_be
+# ----------------------------------------------------------------------
+def test_be_allowed_when_hp_idle_regardless_of_profile():
+    config = PolicyConfig()
+    assert schedule_be(False, C, be_kernel(C, sm=1000), 80, config)
+
+
+def test_be_blocked_same_profile_while_hp_running():
+    config = PolicyConfig()
+    assert not schedule_be(True, C, be_kernel(C, sm=10), 80, config)
+
+
+def test_be_allowed_opposite_profile_small_kernel():
+    config = PolicyConfig()
+    assert schedule_be(True, C, be_kernel(M, sm=10), 80, config)
+
+
+def test_be_blocked_by_sm_threshold():
+    config = PolicyConfig()
+    assert not schedule_be(True, C, be_kernel(M, sm=80), 80, config)
+
+
+def test_sm_threshold_is_strict_inequality():
+    config = PolicyConfig()
+    assert schedule_be(True, C, be_kernel(M, sm=79), 80, config)
+    assert not schedule_be(True, C, be_kernel(M, sm=80), 80, config)
+
+
+def test_unknown_be_profile_is_optimistically_allowed():
+    config = PolicyConfig()
+    assert schedule_be(True, C, be_kernel(U, sm=10), 80, config)
+    assert schedule_be(True, M, be_kernel(U, sm=10), 80, config)
+
+
+def test_unknown_hp_profile_allows_any_be():
+    config = PolicyConfig()
+    assert schedule_be(True, None, be_kernel(C, sm=10), 80, config)
+
+
+def test_ablation_disable_profiles():
+    config = PolicyConfig(use_profiles=False)
+    assert schedule_be(True, C, be_kernel(C, sm=10), 80, config)
+
+
+def test_ablation_disable_sm_limit():
+    config = PolicyConfig(use_sm_limit=False)
+    assert schedule_be(True, C, be_kernel(M, sm=500), 80, config)
+
+
+def test_ablation_disable_both_admits_everything():
+    config = PolicyConfig(use_profiles=False, use_sm_limit=False)
+    assert schedule_be(True, C, be_kernel(C, sm=500), 80, config)
+
+
+# ----------------------------------------------------------------------
+# duration_throttled
+# ----------------------------------------------------------------------
+def test_default_threshold_is_paper_value():
+    assert DEFAULT_DUR_THRESHOLD_FRAC == 0.025
+
+
+def test_throttled_above_budget():
+    config = PolicyConfig()
+    hp_latency = 10e-3  # budget = 250 us
+    assert duration_throttled(300e-6, hp_latency, config)
+    assert not duration_throttled(200e-6, hp_latency, config)
+
+
+def test_budget_scales_with_hp_latency():
+    config = PolicyConfig()
+    assert not duration_throttled(1e-3, 100e-3, config)
+    assert duration_throttled(1e-3, 10e-3, config)
+
+
+def test_custom_threshold_fraction():
+    config = PolicyConfig(dur_threshold_frac=0.2)
+    assert not duration_throttled(1.9e-3, 10e-3, config)
+    assert duration_throttled(2.1e-3, 10e-3, config)
+
+
+def test_ablation_disable_throttle():
+    config = PolicyConfig(use_dur_throttle=False)
+    assert not duration_throttled(1e6, 1e-3, config)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PolicyConfig(sm_threshold=-1)
+    with pytest.raises(ValueError):
+        PolicyConfig(dur_threshold_frac=0.0)
+    with pytest.raises(ValueError):
+        PolicyConfig(dur_threshold_frac=1.5)

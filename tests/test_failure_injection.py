@@ -1,0 +1,142 @@
+"""Failure-injection tests: aborted clients, OOM, device survivability."""
+
+import pytest
+
+from repro.core.scheduler import OrionBackend, OrionConfig
+from repro.gpu.device import GpuDevice
+from repro.gpu.memory import GpuOutOfMemoryError
+from repro.gpu.specs import V100_16GB
+from repro.profiler.profiles import ProfileStore
+from repro.runtime.client import ClientContext
+from repro.runtime.direct import DirectStreamBackend
+from repro.runtime.host import HostThread
+from repro.sim.engine import Simulator
+from repro.sim.process import Timeout, spawn
+
+from helpers import compute_spec, make_kernel, memory_spec
+
+
+def test_oom_surfaces_as_explicit_error():
+    """Collocating jobs that do not fit in GPU memory is a hard error
+    (the paper assumes the cluster manager prevents this; the simulator
+    makes the violation loud rather than silent)."""
+    sim = Simulator()
+    device = GpuDevice(sim, V100_16GB)
+    backend = DirectStreamBackend(sim, device)
+    ctx = ClientContext(backend, "greedy", HostThread(sim))
+
+    def hog():
+        yield from ctx.malloc(V100_16GB.memory_capacity + 1)
+
+    spawn(sim, hog())
+    with pytest.raises(GpuOutOfMemoryError):
+        sim.run()
+
+
+def test_two_jobs_overflowing_capacity_fail_on_second_malloc():
+    sim = Simulator()
+    device = GpuDevice(sim, V100_16GB)
+    backend = DirectStreamBackend(sim, device)
+    a = ClientContext(backend, "a", HostThread(sim))
+    b = ClientContext(backend, "b", HostThread(sim))
+    two_thirds = int(V100_16GB.memory_capacity * 2 / 3)
+
+    def job(ctx):
+        yield from ctx.malloc(two_thirds)
+
+    spawn(sim, job(a))
+    spawn(sim, job(b))
+    with pytest.raises(GpuOutOfMemoryError):
+        sim.run()
+    assert device.memory.used == two_thirds  # first job's state intact
+
+
+def test_interrupted_client_does_not_wedge_the_device():
+    """Killing a client mid-request leaves its committed kernels to
+    finish but the device keeps serving other clients."""
+    sim = Simulator()
+    device = GpuDevice(sim, V100_16GB)
+    backend = DirectStreamBackend(sim, device)
+    victim = ClientContext(backend, "victim", HostThread(sim))
+    survivor = ClientContext(backend, "survivor", HostThread(sim))
+    record = {}
+
+    def victim_job():
+        for i in range(100):
+            yield from victim.launch_kernel(
+                make_kernel(memory_spec(f"v{i}", duration=1e-4))
+            )
+            yield Timeout(5e-5)
+
+    def survivor_job():
+        yield Timeout(2e-3)  # after the victim dies
+        yield from survivor.launch_kernel(
+            make_kernel(compute_spec("s", duration=1e-3))
+        )
+        yield from survivor.synchronize()
+        record["done"] = sim.now
+
+    victim_proc = spawn(sim, victim_job())
+    spawn(sim, survivor_job())
+    sim.call_at(1e-3, lambda: victim_proc.interrupt("client crashed"))
+    sim.run()
+    assert not victim_proc.alive
+    assert "done" in record
+
+
+def test_interrupted_be_client_does_not_wedge_orion():
+    """Orion keeps scheduling the HP job after a BE client dies with
+    ops still in its software queue."""
+    sim = Simulator()
+    device = GpuDevice(sim, V100_16GB)
+    backend = OrionBackend(sim, device, ProfileStore(),
+                           OrionConfig(hp_request_latency=10e-3))
+    hp = ClientContext(backend, "hp", HostThread(sim), high_priority=True)
+    be = ClientContext(backend, "be", HostThread(sim))
+    backend.start()
+    record = {}
+
+    def be_job():
+        for i in range(50):
+            yield from be.launch_kernel(
+                make_kernel(memory_spec(f"be{i}", duration=2e-4))
+            )
+
+    def hp_job():
+        yield Timeout(2e-3)
+        yield from hp.launch_kernel(
+            make_kernel(compute_spec("hp-k", duration=1e-3))
+        )
+        yield from hp.synchronize()
+        record["hp_done"] = sim.now
+
+    be_proc = spawn(sim, be_job())
+    spawn(sim, hp_job())
+    sim.call_at(1e-3, lambda: be_proc.interrupt())
+    sim.run()
+    assert "hp_done" in record
+    # Orphaned BE kernels already in the queue drained harmlessly.
+    assert backend.be_kernels_launched > 0
+
+
+def test_device_survives_burst_of_many_streams():
+    """128 streams each firing a kernel exercises the concurrency cap."""
+    sim = Simulator()
+    device = GpuDevice(sim, V100_16GB)
+    streams = [device.create_stream() for _ in range(128)]
+    done = []
+
+    def run():
+        signals = []
+        for i, stream in enumerate(streams):
+            signals.append(stream.submit(
+                make_kernel(memory_spec(f"m{i}", duration=1e-4, blocks=8))
+            ))
+        for signal in signals:
+            yield signal
+        done.append(sim.now)
+
+    spawn(sim, run())
+    sim.run()
+    assert done
+    assert device.kernels_completed == 128

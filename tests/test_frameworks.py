@@ -1,0 +1,302 @@
+"""Unit tests for the torchsim mini-framework: layers, modules, lowering."""
+
+import math
+
+import pytest
+
+from repro.frameworks.layers.nlp import (
+    Embedding,
+    FeedForward,
+    Gelu,
+    LayerNorm,
+    MultiHeadSelfAttention,
+    TransformerEncoderLayer,
+)
+from repro.frameworks.layers.vision import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.frameworks.lowering import (
+    instantiate_plan,
+    lower_inference,
+    lower_training,
+)
+from repro.frameworks.module import Namer, Residual, Sequential
+from repro.frameworks.specbuild import conv2d_spec, elementwise_spec, gemm_spec
+from repro.gpu.specs import V100_16GB
+from repro.kernels.kernel import KernelOp, MemoryOp
+
+
+def build(module, shape):
+    return module.build(shape, Namer("test"))
+
+
+# ----------------------------------------------------------------------
+# Spec builders
+# ----------------------------------------------------------------------
+def test_gemm_flops_formula():
+    spec = gemm_spec("g", m=64, n=128, k=256)
+    assert spec.flops == 2 * 64 * 128 * 256
+
+
+def test_gemm_batched_scales_flops():
+    single = gemm_spec("g1", 64, 64, 64)
+    batched = gemm_spec("g8", 64, 64, 64, batch=8)
+    assert batched.flops == 8 * single.flops
+
+
+def test_gemm_rejects_degenerate_dims():
+    with pytest.raises(ValueError):
+        gemm_spec("bad", 0, 1, 1)
+
+
+def test_conv_flops_match_implicit_gemm():
+    spec = conv2d_spec("c", batch=2, c_in=16, c_out=32, h_out=8, w_out=8,
+                       kernel_size=3)
+    assert spec.flops == 2 * (2 * 8 * 8) * 32 * (16 * 9)
+
+
+def test_elementwise_bytes_scale_with_access_count():
+    one = elementwise_spec("e1", 1000, reads=1, writes=1)
+    three = elementwise_spec("e3", 1000, reads=2, writes=1)
+    assert three.bytes_moved == 1.5 * one.bytes_moved
+
+
+def test_elementwise_rejects_empty():
+    with pytest.raises(ValueError):
+        elementwise_spec("e", 0)
+
+
+# ----------------------------------------------------------------------
+# Vision layers
+# ----------------------------------------------------------------------
+def test_conv2d_output_shape():
+    built = build(Conv2d(3, 64, 7, stride=2, padding=3), (1, 3, 224, 224))
+    assert built.out_shape == (1, 64, 112, 112)
+    assert built.params == 3 * 64 * 49
+
+
+def test_conv2d_backward_has_dgrad_and_wgrad():
+    built = build(Conv2d(16, 32, 3, padding=1), (1, 16, 8, 8))
+    assert len(built.forward) == 1
+    assert len(built.backward) == 2
+
+
+def test_conv2d_channel_mismatch_raises():
+    with pytest.raises(ValueError):
+        build(Conv2d(3, 8, 3), (1, 4, 8, 8))
+
+
+def test_conv2d_collapsed_output_raises():
+    with pytest.raises(ValueError):
+        build(Conv2d(3, 8, 9), (1, 3, 4, 4))
+
+
+def test_depthwise_conv_shape_and_params():
+    built = build(DepthwiseConv2d(32, 3, stride=2, padding=1), (1, 32, 16, 16))
+    assert built.out_shape == (1, 32, 8, 8)
+    assert built.params == 32 * 9
+
+
+def test_batchnorm_preserves_shape():
+    built = build(BatchNorm2d(16), (2, 16, 8, 8))
+    assert built.out_shape == (2, 16, 8, 8)
+    assert built.params == 32
+
+
+def test_relu_is_parameter_free():
+    built = build(ReLU(), (2, 16, 8, 8))
+    assert built.params == 0
+    assert built.out_shape == (2, 16, 8, 8)
+
+
+def test_maxpool_shape():
+    built = build(MaxPool2d(3, stride=2, padding=1), (1, 64, 112, 112))
+    assert built.out_shape == (1, 64, 56, 56)
+
+
+def test_global_avgpool_to_1x1():
+    built = build(GlobalAvgPool2d(), (4, 2048, 7, 7))
+    assert built.out_shape == (4, 2048, 1, 1)
+
+
+def test_flatten_emits_no_kernels():
+    built = build(Flatten(), (4, 2048, 1, 1))
+    assert built.out_shape == (4, 2048)
+    assert built.forward == []
+
+
+def test_linear_shape_and_params():
+    built = build(Linear(2048, 1000), (4, 2048))
+    assert built.out_shape == (4, 1000)
+    assert built.params == 2048 * 1000 + 1000
+
+
+def test_linear_dim_mismatch_raises():
+    with pytest.raises(ValueError):
+        build(Linear(100, 10), (4, 99))
+
+
+# ----------------------------------------------------------------------
+# NLP layers
+# ----------------------------------------------------------------------
+def test_embedding_shape():
+    built = build(Embedding(30000, 768), (2, 128))
+    assert built.out_shape == (2, 128, 768)
+    assert built.params == 30000 * 768
+
+
+def test_layernorm_preserves_shape():
+    built = build(LayerNorm(768), (2, 128, 768))
+    assert built.out_shape == (2, 128, 768)
+
+
+def test_attention_kernel_decomposition():
+    built = build(MultiHeadSelfAttention(768, 12), (2, 128, 768))
+    names = [s.name for s in built.forward]
+    for piece in ("qkv", "scores", "softmax", "context", "attn_out"):
+        assert any(piece in n for n in names), f"missing {piece}"
+    assert built.out_shape == (2, 128, 768)
+
+
+def test_attention_rejects_bad_heads():
+    with pytest.raises(ValueError):
+        MultiHeadSelfAttention(768, 7)
+
+
+def test_feedforward_params():
+    built = build(FeedForward(768, 3072), (2, 128, 768))
+    assert built.params == 2 * 768 * 3072 + 768 + 3072
+
+
+def test_encoder_layer_shape_roundtrip():
+    built = build(TransformerEncoderLayer(512, 8, 2048), (2, 64, 512))
+    assert built.out_shape == (2, 64, 512)
+    assert len(built.forward) > 8
+
+
+def test_gelu_costs_more_flops_than_relu():
+    g = build(Gelu(), (2, 64, 512)).forward[0]
+    r = build(ReLU(), (2, 64, 512)).forward[0]
+    assert g.flops > r.flops
+
+
+# ----------------------------------------------------------------------
+# Containers
+# ----------------------------------------------------------------------
+def test_sequential_chains_shapes():
+    model = Sequential(Conv2d(3, 8, 3, padding=1), BatchNorm2d(8), ReLU())
+    built = build(model, (1, 3, 8, 8))
+    assert built.out_shape == (1, 8, 8, 8)
+    assert len(built.forward) == 3
+
+
+def test_sequential_requires_children():
+    with pytest.raises(ValueError):
+        Sequential()
+
+
+def test_residual_adds_add_kernel():
+    body = Sequential(Conv2d(8, 8, 3, padding=1), BatchNorm2d(8))
+    built = build(Residual(body), (1, 8, 8, 8))
+    assert any("residual_add" in s.name for s in built.forward)
+    assert built.out_shape == (1, 8, 8, 8)
+
+
+def test_residual_projection_shape_mismatch_raises():
+    body = Conv2d(8, 16, 3, padding=1)
+    projection = Conv2d(8, 8, 1)  # wrong channel count
+    with pytest.raises(ValueError):
+        build(Residual(body, projection), (1, 8, 8, 8))
+
+
+def test_namer_generates_unique_names():
+    namer = Namer("m")
+    assert namer.name("conv") == "m/conv_0"
+    assert namer.name("conv") == "m/conv_1"
+    assert namer.name("bn") == "m/bn_0"
+
+
+# ----------------------------------------------------------------------
+# Lowering
+# ----------------------------------------------------------------------
+def small_model():
+    return Sequential(
+        Conv2d(3, 8, 3, padding=1), BatchNorm2d(8), ReLU(),
+        GlobalAvgPool2d(), Flatten(), Linear(8, 10),
+    )
+
+
+def test_inference_plan_structure():
+    plan = lower_inference(small_model(), (2, 3, 16, 16), "tiny")
+    phases = [op.phase for op in plan.ops]
+    assert phases[0] == "copy"
+    assert phases[-1] == "output"
+    assert all(p == "forward" for p in phases[1:-1])
+    assert plan.kind == "inference"
+    assert plan.batch_size == 2
+
+
+def test_training_plan_has_all_phases():
+    plan = lower_training(small_model(), (2, 3, 16, 16), "tiny")
+    phases = {op.phase for op in plan.ops}
+    assert phases == {"copy", "forward", "backward", "update"}
+
+
+def test_training_backward_reversed():
+    plan = lower_training(small_model(), (2, 3, 16, 16), "tiny")
+    backward = [op.spec.name for op in plan.ops if op.phase == "backward"]
+    # First backward kernel is the loss; last ones belong to the first layer.
+    assert "loss" in backward[0]
+    assert "conv2d" in backward[-1]
+
+
+def test_training_costs_more_than_inference():
+    inf = lower_inference(small_model(), (2, 3, 16, 16), "tiny-i")
+    train = lower_training(small_model(), (2, 3, 16, 16), "tiny-t")
+    inf_flops = sum(s.flops for s in inf.kernel_specs())
+    train_flops = sum(s.flops for s in train.kernel_specs())
+    assert train_flops > 2 * inf_flops
+
+
+def test_update_kernels_cover_params():
+    plan = lower_training(small_model(), (2, 3, 16, 16), "tiny")
+    updates = [op for op in plan.ops if op.phase == "update"]
+    assert updates
+    covered = sum(s.spec.bytes_moved for s in updates) / (7 * 4)
+    assert covered == pytest.approx(plan.params, rel=0.01)
+
+
+def test_instantiate_plan_materializes_ops():
+    plan = lower_inference(small_model(), (2, 3, 16, 16), "tiny")
+    ops = instantiate_plan(plan, V100_16GB, client_id="c")
+    assert len(ops) == len(plan.ops)
+    assert isinstance(ops[0], MemoryOp)
+    assert all(isinstance(o, (KernelOp, MemoryOp)) for o in ops)
+    kernel = next(o for o in ops if isinstance(o, KernelOp))
+    assert kernel.client_id == "c"
+
+
+def test_instantiate_plan_async_copies_flag():
+    plan = lower_inference(small_model(), (2, 3, 16, 16), "tiny")
+    sync_ops = instantiate_plan(plan, V100_16GB)
+    async_ops = instantiate_plan(plan, V100_16GB, async_copies=True)
+    assert sync_ops[0].blocking is True
+    assert async_ops[0].blocking is False
+
+
+def test_plan_input_bytes():
+    plan = lower_inference(small_model(), (2, 3, 16, 16), "tiny")
+    assert plan.input_bytes == 4 * 2 * 3 * 16 * 16
+
+
+def test_state_bytes_larger_for_training():
+    inf = lower_inference(small_model(), (2, 3, 16, 16), "tiny-i")
+    train = lower_training(small_model(), (2, 3, 16, 16), "tiny-t")
+    assert train.state_bytes > inf.state_bytes

@@ -1,0 +1,203 @@
+"""Unit tests for device memory accounting and the PCIe engine."""
+
+import pytest
+
+from repro.gpu.memory import DeviceMemory, GpuOutOfMemoryError
+from repro.gpu.pcie import PcieEngine
+from repro.sim.engine import Simulator
+from repro.sim.process import spawn
+
+
+# ----------------------------------------------------------------------
+# DeviceMemory
+# ----------------------------------------------------------------------
+def test_malloc_and_free_roundtrip():
+    mem = DeviceMemory(1000)
+    alloc = mem.malloc(400, "client-a")
+    assert mem.used == 400
+    assert mem.free == 600
+    mem.free_allocation(alloc)
+    assert mem.used == 0
+
+
+def test_out_of_memory_raises():
+    mem = DeviceMemory(1000)
+    mem.malloc(800)
+    with pytest.raises(GpuOutOfMemoryError):
+        mem.malloc(300)
+
+
+def test_oom_leaves_state_unchanged():
+    mem = DeviceMemory(1000)
+    mem.malloc(800)
+    try:
+        mem.malloc(300)
+    except GpuOutOfMemoryError:
+        pass
+    assert mem.used == 800
+
+
+def test_double_free_raises():
+    mem = DeviceMemory(1000)
+    alloc = mem.malloc(100)
+    mem.free_allocation(alloc)
+    with pytest.raises(ValueError):
+        mem.free_allocation(alloc)
+
+
+def test_negative_malloc_raises():
+    with pytest.raises(ValueError):
+        DeviceMemory(1000).malloc(-5)
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        DeviceMemory(0)
+
+
+def test_peak_tracking():
+    mem = DeviceMemory(1000)
+    a = mem.malloc(600)
+    mem.free_allocation(a)
+    mem.malloc(100)
+    assert mem.peak_used == 600
+
+
+def test_per_client_accounting():
+    mem = DeviceMemory(1000)
+    mem.malloc(300, "a")
+    mem.malloc(200, "b")
+    assert mem.client_usage("a") == 300
+    assert mem.client_usage("b") == 200
+    assert mem.client_usage("missing") == 0
+
+
+def test_release_client_frees_everything():
+    mem = DeviceMemory(1000)
+    mem.malloc(300, "a")
+    mem.malloc(100, "a")
+    mem.malloc(200, "b")
+    freed = mem.release_client("a")
+    assert freed == 400
+    assert mem.used == 200
+    assert mem.client_usage("a") == 0
+
+
+def test_utilization_fraction():
+    mem = DeviceMemory(1000)
+    mem.malloc(250)
+    assert mem.utilization() == pytest.approx(0.25)
+
+
+# ----------------------------------------------------------------------
+# PCIe engine
+# ----------------------------------------------------------------------
+def transfer_time(engine, sim, nbytes, direction="h2d"):
+    record = {}
+
+    def run():
+        done = engine.start_transfer(nbytes, direction)
+        yield done
+        record["t"] = sim.now
+
+    spawn(sim, run())
+    sim.run()
+    return record["t"]
+
+
+def test_single_transfer_duration():
+    sim = Simulator()
+    engine = PcieEngine(sim, bandwidth=16e9, latency=10e-6)
+    t = transfer_time(engine, sim, int(16e9 * 1e-3))  # 1 ms of data
+    assert t == pytest.approx(1e-3 + 10e-6, rel=0.01)
+
+
+def test_zero_byte_transfer_costs_latency_only():
+    sim = Simulator()
+    engine = PcieEngine(sim, bandwidth=16e9, latency=10e-6)
+    assert transfer_time(engine, sim, 0) == pytest.approx(10e-6)
+
+
+def test_concurrent_transfers_share_bandwidth():
+    sim = Simulator()
+    engine = PcieEngine(sim, bandwidth=16e9, latency=0.0)
+    nbytes = int(16e9 * 1e-3)
+    ends = []
+
+    def run():
+        d1 = engine.start_transfer(nbytes)
+        d2 = engine.start_transfer(nbytes)
+        yield d1
+        ends.append(sim.now)
+        yield d2
+        ends.append(sim.now)
+
+    spawn(sim, run())
+    sim.run()
+    # Two equal transfers sharing the bus finish together at ~2x solo.
+    assert ends[1] == pytest.approx(2e-3, rel=0.01)
+
+
+def test_directions_are_independent():
+    sim = Simulator()
+    engine = PcieEngine(sim, bandwidth=16e9, latency=0.0)
+    nbytes = int(16e9 * 1e-3)
+    ends = {}
+
+    def run():
+        d1 = engine.start_transfer(nbytes, "h2d")
+        d2 = engine.start_transfer(nbytes, "d2h")
+        yield d1
+        ends["h2d"] = sim.now
+        yield d2
+        ends["d2h"] = sim.now
+
+    spawn(sim, run())
+    sim.run()
+    assert ends["h2d"] == pytest.approx(1e-3, rel=0.01)
+    assert ends["d2h"] == pytest.approx(1e-3, rel=0.01)
+
+
+def test_unknown_direction_rejected():
+    sim = Simulator()
+    engine = PcieEngine(sim, bandwidth=16e9)
+    with pytest.raises(ValueError):
+        engine.start_transfer(100, "sideways")
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    engine = PcieEngine(sim, bandwidth=16e9)
+    with pytest.raises(ValueError):
+        engine.start_transfer(-1)
+
+
+def test_bytes_moved_accounting():
+    sim = Simulator()
+    engine = PcieEngine(sim, bandwidth=16e9, latency=0.0)
+    transfer_time(engine, sim, 10**7)
+    assert engine.bytes_moved("h2d") == pytest.approx(10**7, rel=0.01)
+
+
+def test_many_small_transfers_terminate():
+    # Regression: float residue in the drain computation must not spin.
+    sim = Simulator()
+    engine = PcieEngine(sim, bandwidth=16e9, latency=1e-6)
+    done_count = []
+
+    def run():
+        for i in range(200):
+            done = engine.start_transfer(12345 + i)
+            done.add_callback(lambda _s: done_count.append(1))
+        yield done
+
+    spawn(sim, run())
+    sim.run()
+    assert len(done_count) == 200
+
+
+def test_invalid_engine_params():
+    with pytest.raises(ValueError):
+        PcieEngine(Simulator(), bandwidth=0)
+    with pytest.raises(ValueError):
+        PcieEngine(Simulator(), bandwidth=1e9, latency=-1)

@@ -1,0 +1,92 @@
+"""Tests for the §7 LLM token-generation workload extension."""
+
+import pytest
+
+from repro.frameworks.lowering import instantiate_plan
+from repro.gpu.specs import V100_16GB
+from repro.kernels.kernel import ResourceProfile
+from repro.workloads.models.llm import LLM_SMALL, LlmConfig, llm_generation_plan
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return llm_generation_plan(LLM_SMALL, batch=1, prompt_len=128,
+                               gen_tokens=16)
+
+
+@pytest.fixture(scope="module")
+def kernels(plan):
+    return [o for o in instantiate_plan(plan, V100_16GB) if o.is_kernel]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        LlmConfig(hidden=100, heads=7)
+    with pytest.raises(ValueError):
+        LlmConfig(layers=0)
+    with pytest.raises(ValueError):
+        llm_generation_plan(gen_tokens=0)
+
+
+def test_param_count_formula():
+    config = LlmConfig(layers=2, hidden=4, heads=2, ffn=8, vocab=10)
+    assert config.params == 2 * (4 * 16 + 2 * 4 * 8) + 40
+
+
+def test_plan_has_prefill_and_decode_phases(plan):
+    phases = {op.phase for op in plan.ops}
+    assert {"copy", "forward", "decode", "output"} <= phases
+
+
+def test_decode_steps_scale_with_tokens():
+    short = llm_generation_plan(LLM_SMALL, gen_tokens=4)
+    long = llm_generation_plan(LLM_SMALL, gen_tokens=32)
+    assert long.kernel_count > short.kernel_count
+
+
+def test_decode_is_memory_bound(kernels):
+    """The §7 claim: token generation underutilizes compute."""
+    decode = [k for k in kernels if k.tag == "decode"]
+    assert decode
+    total = sum(k.duration for k in decode)
+    compute = sum(k.compute_util * k.duration for k in decode) / total
+    memory = sum(k.memory_util * k.duration for k in decode) / total
+    assert memory > 0.5
+    assert compute < 0.15
+    classes = [k.profile for k in decode if k.duration > 10e-6]
+    assert all(p is ResourceProfile.MEMORY for p in classes)
+
+
+def test_prefill_is_compute_leaning(kernels):
+    prefill = [k for k in kernels if k.tag == "forward"]
+    total = sum(k.duration for k in prefill)
+    compute = sum(k.compute_util * k.duration for k in prefill) / total
+    memory = sum(k.memory_util * k.duration for k in prefill) / total
+    assert compute > memory
+
+
+def test_kv_cache_grows_state():
+    short = llm_generation_plan(LLM_SMALL, gen_tokens=1)
+    long = llm_generation_plan(LLM_SMALL, gen_tokens=256)
+    assert long.state_bytes > short.state_bytes
+    assert short.state_bytes > 4 * LLM_SMALL.params  # weights dominate
+
+
+def test_decode_kernel_ids_bucketed_for_profiling(plan):
+    """Decode kernels reuse ids per cache bucket so profiles stay small."""
+    decode_ids = {op.spec.name for op in plan.ops
+                  if op.phase == "decode" and op.spec is not None}
+    decode_ops = [op for op in plan.ops if op.phase == "decode"]
+    assert len(decode_ids) < len(decode_ops) / 2
+
+
+def test_batched_decode_raises_intensity():
+    """Larger batches amortize weight reads — less memory-bound."""
+    def decode_compute_util(batch):
+        plan = llm_generation_plan(LLM_SMALL, batch=batch, gen_tokens=4)
+        ops = [o for o in instantiate_plan(plan, V100_16GB)
+               if o.is_kernel and o.tag == "decode"]
+        total = sum(k.duration for k in ops)
+        return sum(k.compute_util * k.duration for k in ops) / total
+
+    assert decode_compute_util(16) > decode_compute_util(1)

@@ -1,0 +1,177 @@
+"""Unit tests for metrics: latency digests, throughput, utilization, cost."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.cost import cost_savings, makespan_savings
+from repro.metrics.latency import LatencySummary, percentile, summarize_latencies
+from repro.metrics.throughput import completed_in_window, throughput
+from repro.metrics.utilization import average_utilization, binned_trace
+from repro.workloads.clients import RequestRecord
+
+
+def records_from_latencies(latencies, start=1.0, gap=0.01):
+    records = []
+    t = start
+    for latency in latencies:
+        records.append(RequestRecord(arrival=t, start=t, end=t + latency))
+        t += gap
+    return records
+
+
+# ----------------------------------------------------------------------
+# Latency
+# ----------------------------------------------------------------------
+def test_percentile_matches_numpy():
+    values = [1.0, 5.0, 2.0, 8.0, 3.0]
+    assert percentile(values, 50) == pytest.approx(np.percentile(values, 50))
+    assert percentile(values, 99) == pytest.approx(np.percentile(values, 99))
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_summarize_basic_stats():
+    records = records_from_latencies([0.010] * 99 + [0.100])
+    summary = summarize_latencies(records)
+    assert summary.count == 100
+    assert summary.p50 == pytest.approx(0.010)
+    assert summary.max == pytest.approx(0.100)
+    assert summary.p99 > summary.p50
+
+
+def test_summarize_respects_warmup_filter():
+    records = records_from_latencies([1.0] * 5, start=0.0, gap=0.1) + \
+        records_from_latencies([0.01] * 5, start=10.0, gap=0.1)
+    summary = summarize_latencies(records, after=5.0)
+    assert summary.count == 5
+    assert summary.p50 == pytest.approx(0.01)
+
+
+def test_summarize_empty_returns_nan_summary():
+    summary = summarize_latencies([])
+    assert summary.count == 0
+    assert np.isnan(summary.p99)
+
+
+def test_latency_ratio_to_reference():
+    a = summarize_latencies(records_from_latencies([0.02] * 10))
+    b = summarize_latencies(records_from_latencies([0.01] * 10))
+    assert a.ratio_to(b) == pytest.approx(2.0)
+
+
+def test_ratio_to_degenerate_reference_raises():
+    a = summarize_latencies(records_from_latencies([0.02] * 10))
+    zero = LatencySummary(1, 0, 0, 0, 0.0, 0)
+    with pytest.raises(ValueError):
+        a.ratio_to(zero)
+
+
+def test_request_record_properties():
+    r = RequestRecord(arrival=1.0, start=1.5, end=2.0)
+    assert r.latency == pytest.approx(1.0)
+    assert r.service_time == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# Throughput
+# ----------------------------------------------------------------------
+def test_throughput_counts_completions_in_window():
+    records = records_from_latencies([0.001] * 100, start=0.0, gap=0.01)
+    assert completed_in_window(records, 0.0, 1.01) == 100
+    assert throughput(records, 0.0, 1.0) == pytest.approx(100.0, rel=0.02)
+
+
+def test_throughput_excludes_outside_window():
+    records = [RequestRecord(0.0, 0.0, 0.5), RequestRecord(0.0, 0.0, 1.5)]
+    assert completed_in_window(records, 1.0, 2.0) == 1
+
+
+def test_throughput_window_validation():
+    with pytest.raises(ValueError):
+        throughput([], 1.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Utilization
+# ----------------------------------------------------------------------
+def test_average_utilization_time_weighted():
+    segments = [
+        (0.0, 1.0, 1.0, 0.5, 1.0),
+        (1.0, 2.0, 0.0, 0.0, 0.0),
+    ]
+    avg = average_utilization(segments, 0.0, 2.0)
+    assert avg.compute == pytest.approx(0.5)
+    assert avg.memory_bw == pytest.approx(0.25)
+    assert avg.sm_busy == pytest.approx(0.5)
+
+
+def test_average_utilization_counts_gaps_as_idle():
+    segments = [(0.0, 1.0, 1.0, 1.0, 1.0)]
+    avg = average_utilization(segments, 0.0, 4.0)
+    assert avg.compute == pytest.approx(0.25)
+
+
+def test_average_utilization_clips_to_window():
+    segments = [(0.0, 10.0, 1.0, 1.0, 1.0)]
+    avg = average_utilization(segments, 4.0, 6.0)
+    assert avg.compute == pytest.approx(1.0)
+
+
+def test_average_utilization_window_validation():
+    with pytest.raises(ValueError):
+        average_utilization([], 1.0, 1.0)
+
+
+def test_binned_trace_shape_and_values():
+    segments = [(0.0, 0.5, 0.8, 0.2, 0.9)]
+    times, compute, memory, sm = binned_trace(segments, 0.0, 1.0,
+                                              bin_width=0.25)
+    assert len(times) == 4
+    assert compute[0] == pytest.approx(0.8)
+    assert compute[1] == pytest.approx(0.8)
+    assert compute[2] == pytest.approx(0.0)
+    assert memory[0] == pytest.approx(0.2)
+    assert sm[3] == pytest.approx(0.0)
+
+
+def test_binned_trace_partial_bin_weighting():
+    segments = [(0.0, 0.125, 1.0, 0.0, 0.0)]
+    _, compute, _, _ = binned_trace(segments, 0.0, 0.25, bin_width=0.25)
+    assert compute[0] == pytest.approx(0.5)
+
+
+def test_binned_trace_validation():
+    with pytest.raises(ValueError):
+        binned_trace([], 0.0, 1.0, bin_width=0.0)
+    with pytest.raises(ValueError):
+        binned_trace([], 1.0, 1.0)
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+def test_cost_savings_table4_example():
+    # ResNet50 row of Table 4: dedicated 10.3, collocated 7.45 -> 1.45x.
+    assert cost_savings(10.3, 7.45) == pytest.approx(1.45, abs=0.01)
+
+
+def test_cost_savings_breakeven():
+    assert cost_savings(10.0, 5.0) == pytest.approx(1.0)
+
+
+def test_cost_savings_validation():
+    with pytest.raises(ValueError):
+        cost_savings(0.0, 1.0)
+    with pytest.raises(ValueError):
+        cost_savings(1.0, 1.0, dedicated_gpus=0)
+
+
+def test_makespan_savings():
+    assert makespan_savings(10.0, 7.75) == pytest.approx(1.29, abs=0.01)
+    with pytest.raises(ValueError):
+        makespan_savings(0.0, 1.0)

@@ -1,0 +1,92 @@
+"""Tests for Orion's PCIe bandwidth management extension (§5.1.3)."""
+
+import pytest
+
+from repro.core.scheduler import OrionBackend, OrionConfig
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import V100_16GB
+from repro.kernels.kernel import MemoryOpKind
+from repro.profiler.profiles import ProfileStore
+from repro.runtime.client import ClientContext
+from repro.runtime.host import HostThread
+from repro.sim.engine import Simulator
+from repro.sim.process import Timeout, spawn
+
+COPY_BYTES = int(16e9 * 2e-3)  # ~2 ms on the V100's 16 GB/s bus
+
+
+def setup(manage_pcie: bool):
+    sim = Simulator()
+    device = GpuDevice(sim, V100_16GB)
+    backend = OrionBackend(sim, device, ProfileStore(),
+                           OrionConfig(hp_request_latency=10e-3,
+                                       manage_pcie=manage_pcie))
+    hp = ClientContext(backend, "hp", HostThread(sim), high_priority=True)
+    be = ClientContext(backend, "be", HostThread(sim))
+    backend.start()
+    return sim, backend, hp, be
+
+
+def run_contended_copies(manage_pcie: bool):
+    sim, backend, hp, be = setup(manage_pcie)
+    record = {}
+
+    def hp_copy():
+        yield from hp.memcpy(COPY_BYTES, MemoryOpKind.MEMCPY_H2D,
+                             blocking=True)
+        record["hp"] = sim.now
+
+    def be_copy():
+        yield Timeout(1e-4)  # arrive while the HP copy is in flight
+        yield from be.memcpy(COPY_BYTES, MemoryOpKind.MEMCPY_H2D,
+                             blocking=True)
+        record["be"] = sim.now
+
+    spawn(sim, hp_copy())
+    spawn(sim, be_copy())
+    sim.run()
+    return record
+
+
+def test_unmanaged_copies_share_the_bus():
+    record = run_contended_copies(manage_pcie=False)
+    # Equal sharing stretches the HP copy well past its 2 ms solo time.
+    assert record["hp"] > 3e-3
+
+
+def test_managed_bus_protects_hp_copy():
+    record = run_contended_copies(manage_pcie=True)
+    assert record["hp"] == pytest.approx(2e-3, rel=0.05)
+    # The BE copy still completes afterwards.
+    assert record["be"] > record["hp"]
+
+
+def test_managed_be_copy_runs_when_bus_free():
+    sim, backend, hp, be = setup(manage_pcie=True)
+    record = {}
+
+    def be_copy():
+        yield from be.memcpy(COPY_BYTES, MemoryOpKind.MEMCPY_H2D,
+                             blocking=True)
+        record["be"] = sim.now
+
+    spawn(sim, be_copy())
+    sim.run()
+    assert record["be"] == pytest.approx(2e-3, rel=0.05)
+
+
+def test_managed_malloc_still_bypasses():
+    sim, backend, hp, be = setup(manage_pcie=True)
+    record = {}
+
+    def be_malloc():
+        yield from be.malloc(1024)
+        record["malloc"] = sim.now
+
+    spawn(sim, be_malloc())
+    sim.run()
+    assert "malloc" in record
+
+
+def test_manage_pcie_off_by_default():
+    assert OrionConfig().manage_pcie is False

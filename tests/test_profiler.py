@@ -1,0 +1,122 @@
+"""Unit tests for the offline profiler and profile store."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks.layers.vision import BatchNorm2d, Conv2d, ReLU
+from repro.frameworks.lowering import lower_inference, lower_training
+from repro.frameworks.module import Sequential
+from repro.gpu.specs import A100_40GB, V100_16GB
+from repro.kernels.kernel import ResourceProfile
+from repro.profiler.nsight import measure_solo_latency, profile_models, profile_plan
+from repro.profiler.profiles import KernelProfile, ModelProfile, ProfileStore
+
+
+def tiny_plan(kind="inference", name="prof-tiny"):
+    model = Sequential(Conv2d(3, 8, 3, padding=1), BatchNorm2d(8), ReLU())
+    shape = (2, 3, 32, 32)
+    if kind == "inference":
+        return lower_inference(model, shape, name)
+    return lower_training(model, shape, name)
+
+
+def test_profile_covers_every_kernel():
+    plan = tiny_plan()
+    profile = profile_plan(plan, V100_16GB)
+    for spec in plan.kernel_specs():
+        assert profile.lookup(spec.name) is not None
+
+
+def test_profile_values_match_cost_model():
+    from repro.kernels.costmodel import instantiate_kernel
+
+    plan = tiny_plan()
+    profile = profile_plan(plan, V100_16GB)
+    spec = plan.kernel_specs()[0]
+    op = instantiate_kernel(spec, V100_16GB)
+    kp = profile.lookup(spec.name)
+    assert kp.duration == pytest.approx(op.duration)
+    assert kp.sm_needed == op.sm_needed
+    assert kp.profile is op.profile
+
+
+def test_request_latency_exceeds_kernel_sum():
+    plan = tiny_plan()
+    profile = profile_plan(plan, V100_16GB)
+    kernel_sum = sum(k.duration for k in profile.kernels.values())
+    # End-to-end latency includes the H2D/D2H copies + launch overheads.
+    assert profile.request_latency > kernel_sum
+
+
+def test_measure_solo_latency_deterministic():
+    plan = tiny_plan()
+    a = measure_solo_latency(plan, V100_16GB)
+    b = measure_solo_latency(plan, V100_16GB)
+    assert a == pytest.approx(b)
+
+
+def test_profile_noise_perturbs_durations():
+    plan = tiny_plan()
+    clean = profile_plan(plan, V100_16GB)
+    noisy = profile_plan(plan, V100_16GB,
+                         noise_rng=np.random.default_rng(0), noise=0.2)
+    diffs = [
+        abs(noisy.kernels[k].duration - clean.kernels[k].duration)
+        for k in clean.kernels
+    ]
+    assert max(diffs) > 0
+
+
+def test_profile_noise_validation():
+    with pytest.raises(ValueError):
+        profile_plan(tiny_plan(), V100_16GB, noise=0.9)
+
+
+def test_profile_json_roundtrip(tmp_path):
+    profile = profile_plan(tiny_plan(), V100_16GB)
+    path = tmp_path / "profile.json"
+    profile.save(path)
+    loaded = ModelProfile.load(path)
+    assert loaded.model_name == profile.model_name
+    assert loaded.request_latency == pytest.approx(profile.request_latency)
+    assert set(loaded.kernels) == set(profile.kernels)
+    some = next(iter(profile.kernels))
+    assert loaded.kernels[some].profile is profile.kernels[some].profile
+
+
+def test_store_lookup_by_kernel_id():
+    store = profile_models([tiny_plan()], V100_16GB)
+    plan = tiny_plan()
+    spec = plan.kernel_specs()[0]
+    assert store.lookup(spec.name) is not None
+    assert store.lookup("nonexistent/kernel_0") is None
+
+
+def test_store_model_lookup():
+    store = profile_models([tiny_plan()], V100_16GB)
+    profile = store.model("prof-tiny", "inference")
+    assert profile.device_name == "V100-16GB"
+    with pytest.raises(KeyError):
+        store.model("prof-tiny", "training")
+
+
+def test_store_len_counts_kernels():
+    store = profile_models([tiny_plan()], V100_16GB)
+    assert len(store) == len(tiny_plan().kernel_specs())
+
+
+def test_a100_profile_is_faster():
+    plan = tiny_plan()
+    v100 = profile_plan(plan, V100_16GB)
+    a100 = profile_plan(plan, A100_40GB)
+    assert a100.request_latency < v100.request_latency
+
+
+def test_training_profile_includes_update_kernels():
+    profile = profile_plan(tiny_plan("training", "prof-train"), V100_16GB)
+    assert any("adam_update" in k for k in profile.kernels)
+
+
+def test_kernel_profile_roundtrip_dict():
+    kp = KernelProfile("k", 1e-3, 0.5, 0.3, 10, ResourceProfile.COMPUTE)
+    assert KernelProfile.from_dict(kp.to_dict()) == kp

@@ -1,0 +1,196 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_starts_at_custom_time():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_call_at_runs_callback_at_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_call_in_is_relative():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, lambda: sim.call_in(0.5, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_at(2.0, lambda: order.append("b"))
+    sim.call_at(1.0, lambda: order.append("a"))
+    sim.call_at(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in ("first", "second", "third"):
+        sim.call_at(1.0, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    handle = sim.call_at(1.0, lambda: seen.append("x"))
+    handle.cancel()
+    sim.run()
+    assert seen == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.call_at(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert not handle.active
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.call_at(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    with pytest.raises(SimulationError):
+        Simulator().call_in(-1.0, lambda: None)
+
+
+def test_nan_time_raises():
+    with pytest.raises(SimulationError):
+        Simulator().call_at(float("nan"), lambda: None)
+
+
+def test_run_until_advances_clock_even_without_events():
+    sim = Simulator()
+    assert sim.run(until=3.0) == 3.0
+    assert sim.now == 3.0
+
+
+def test_run_until_leaves_future_events_pending():
+    sim = Simulator()
+    seen = []
+    sim.call_at(5.0, lambda: seen.append("late"))
+    sim.run(until=1.0)
+    assert seen == []
+    sim.run()
+    assert seen == ["late"]
+
+
+def test_run_max_events():
+    sim = Simulator()
+    seen = []
+    for i in range(10):
+        sim.call_at(float(i + 1), lambda i=i: seen.append(i))
+    sim.run(max_events=3)
+    assert seen == [0, 1, 2]
+
+
+def test_stop_halts_run():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(1)
+        sim.stop()
+
+    sim.call_at(1.0, first)
+    sim.call_at(2.0, lambda: seen.append(2))
+    sim.run()
+    assert seen == [1]
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.call_at(1.0, reenter)
+    sim.run()
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            sim.call_in(1.0, lambda: chain(n + 1))
+
+    sim.call_at(0.0, lambda: chain(0))
+    sim.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_peek_skips_cancelled_events():
+    sim = Simulator()
+    h1 = sim.call_at(1.0, lambda: None)
+    sim.call_at(2.0, lambda: None)
+    h1.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_peek_empty_returns_none():
+    assert Simulator().peek() is None
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    sim.call_at(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.call_at(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_zero_delay_event_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.call_at(1.0, lambda: sim.call_in(0.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [1.0]
+
+
+def test_clock_monotonic_across_many_events():
+    sim = Simulator()
+    times = []
+    import random
+
+    rng = random.Random(7)
+    for _ in range(200):
+        sim.call_at(rng.uniform(0, 10), lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert len(times) == 200

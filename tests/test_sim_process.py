@@ -1,0 +1,277 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.process import AllOf, AnyOf, Interrupted, Signal, Timeout, spawn
+
+
+def run_process(gen, until=None):
+    sim = Simulator()
+    proc = spawn(sim, gen(sim) if callable(gen) else gen)
+    sim.run(until=until)
+    return sim, proc
+
+
+def test_timeout_advances_clock():
+    def proc(sim):
+        yield Timeout(2.5)
+        assert sim.now == 2.5
+
+    sim, p = run_process(proc)
+    assert p.triggered
+
+
+def test_sequential_timeouts_accumulate():
+    def proc(sim):
+        yield Timeout(1.0)
+        yield Timeout(2.0)
+        return sim.now
+
+    sim, p = run_process(proc)
+    assert p.value == 3.0
+
+
+def test_zero_timeout_is_allowed():
+    def proc(sim):
+        yield Timeout(0.0)
+        return "done"
+
+    _, p = run_process(proc)
+    assert p.value == "done"
+
+
+def test_negative_timeout_raises():
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)
+
+
+def test_signal_carries_value():
+    sim = Simulator()
+    sig = Signal(sim)
+    results = []
+
+    def waiter():
+        value = yield sig
+        results.append(value)
+
+    spawn(sim, waiter())
+    sim.call_at(1.0, lambda: sig.trigger("payload"))
+    sim.run()
+    assert results == ["payload"]
+
+
+def test_yield_already_triggered_signal_resumes():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.trigger(42)
+    results = []
+
+    def waiter():
+        value = yield sig
+        results.append(value)
+
+    spawn(sim, waiter())
+    sim.run()
+    assert results == [42]
+
+
+def test_many_triggered_yields_do_not_overflow_stack():
+    sim = Simulator()
+
+    def proc():
+        for _ in range(5000):
+            sig = Signal(sim)
+            sig.trigger()
+            yield sig
+        return "survived"
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.value == "survived"
+
+
+def test_process_return_value():
+    def proc(sim):
+        yield Timeout(1.0)
+        return 99
+
+    _, p = run_process(proc)
+    assert p.value == 99
+
+
+def test_waiting_on_process_returns_its_value():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(1.0)
+        return "child-result"
+
+    def parent():
+        result = yield spawn(sim, child())
+        return result
+
+    p = spawn(sim, parent())
+    sim.run()
+    assert p.value == "child-result"
+
+
+def test_allof_waits_for_every_child():
+    sim = Simulator()
+
+    def proc():
+        values = yield AllOf([Timeout(1.0), Timeout(3.0), Timeout(2.0)])
+        return (sim.now, values)
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.value[0] == 3.0
+
+
+def test_allof_empty_completes_immediately():
+    sim = Simulator()
+
+    def proc():
+        values = yield AllOf([])
+        return values
+
+    p = spawn(sim, proc())
+    sim.run()
+    assert p.value == []
+
+
+def test_anyof_returns_first_value():
+    sim = Simulator()
+    fast = Signal(sim)
+    slow = Signal(sim)
+
+    def proc():
+        value = yield AnyOf([slow, fast])
+        return value
+
+    p = spawn(sim, proc())
+    sim.call_at(1.0, lambda: fast.trigger("fast"))
+    sim.call_at(2.0, lambda: slow.trigger("slow"))
+    sim.run()
+    assert p.value == "fast"
+
+
+def test_anyof_requires_children():
+    with pytest.raises(SimulationError):
+        AnyOf([])
+
+
+def test_interrupt_raises_inside_process():
+    sim = Simulator()
+    caught = []
+
+    def proc():
+        try:
+            yield Timeout(100.0)
+        except Interrupted as exc:
+            caught.append(exc.cause)
+            return "interrupted"
+
+    p = spawn(sim, proc())
+    sim.call_at(1.0, lambda: p.interrupt("reason"))
+    sim.run()
+    assert caught == ["reason"]
+    assert p.value == "interrupted"
+
+
+def test_unhandled_interrupt_kills_process_quietly():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(100.0)
+
+    p = spawn(sim, proc())
+    sim.call_at(1.0, lambda: p.interrupt())
+    sim.run()
+    assert p.triggered
+    assert p.value is None
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        return "ok"
+
+    p = spawn(sim, proc())
+    sim.run()
+    p.interrupt()
+    assert p.value == "ok"
+
+
+def test_yielding_non_awaitable_raises():
+    sim = Simulator()
+
+    def proc():
+        yield 42
+
+    spawn(sim, proc())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_stale_wakeup_after_interrupt_is_ignored():
+    sim = Simulator()
+    sig = Signal(sim)
+    states = []
+
+    def proc():
+        try:
+            yield sig
+            states.append("signal")
+        except Interrupted:
+            states.append("interrupted")
+            yield Timeout(5.0)
+            states.append("after")
+
+    p = spawn(sim, proc())
+    sim.call_at(1.0, lambda: p.interrupt())
+    sim.call_at(2.0, lambda: sig.trigger())  # stale: no longer waited on
+    sim.run()
+    assert states == ["interrupted", "after"]
+
+
+def test_alive_reflects_process_state():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+
+    p = spawn(sim, proc())
+    assert p.alive
+    sim.run()
+    assert not p.alive
+
+
+def test_signal_trigger_is_one_shot():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.trigger("first")
+    sig.trigger("second")
+    assert sig.value == "first"
+
+
+def test_two_processes_interleave():
+    sim = Simulator()
+    log = []
+
+    def a():
+        yield Timeout(1.0)
+        log.append(("a", sim.now))
+        yield Timeout(2.0)
+        log.append(("a", sim.now))
+
+    def b():
+        yield Timeout(2.0)
+        log.append(("b", sim.now))
+
+    spawn(sim, a())
+    spawn(sim, b())
+    sim.run()
+    assert log == [("a", 1.0), ("b", 2.0), ("a", 3.0)]
