@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Fault tolerance: kill collocated clients mid-run and watch the
+scheduler self-heal.
+
+Run:  python examples/fault_tolerance.py
+
+What happens:
+
+1. One high-priority inference client and two best-effort training
+   clients share a simulated V100 under the Orion scheduler, each
+   running under a restart supervisor.
+2. A deterministic fault plan kills a best-effort client mid-run: its
+   software queue is drained with errored signals, its stream destroyed,
+   its memory freed, and the round-robin order repaired — while the
+   high-priority job keeps serving, unaffected.
+3. A second run kills the *high-priority* client instead: the priority
+   slot is vacated, and the supervisor's replacement context re-acquires
+   the high-priority stream and resumes serving within one backoff.
+4. Both runs print the error/availability ledger — per-client error
+   counts, requests served vs failed, restarts, and time-to-recover.
+   The ledger serializes canonically: the same seeded plan always
+   yields byte-identical JSON.
+"""
+
+from repro.faults import FaultPlan, KillClient, run_fault_scenario
+
+DURATION = 0.2
+SEED = 0
+
+
+def show(title: str, result) -> None:
+    print(f"--- {title} ---")
+    for line in result.plan.describe().splitlines():
+        print(f"  {line}")
+    print(result.ledger.format_table())
+    if result.hp_latency.count:
+        print(f"hp latency: p50 {result.hp_latency.p50*1e3:.2f} ms   "
+              f"p99 {result.hp_latency.p99*1e3:.2f} ms   "
+              f"({result.hp_latency.count} requests)")
+    print(f"scheduler: {result.backend_stats}")
+    print()
+
+
+def main() -> None:
+    print("running: best-effort client killed mid-run ...")
+    be_kill = run_fault_scenario(
+        seed=SEED, duration=DURATION,
+        plan=FaultPlan((KillClient("be-0", at_time=DURATION * 0.4),)),
+    )
+    print("running: high-priority client killed mid-run ...")
+    hp_kill = run_fault_scenario(
+        seed=SEED, duration=DURATION,
+        plan=FaultPlan((KillClient("hp", at_time=DURATION * 0.4),)),
+    )
+    print("running: fault-free reference ...")
+    clean = run_fault_scenario(seed=SEED, duration=DURATION, plan=FaultPlan(()))
+    print()
+
+    show("kill best-effort client", be_kill)
+    show("kill high-priority client", hp_kill)
+    show("fault-free reference", clean)
+
+    ratio = be_kill.hp_latency.p99 / clean.hp_latency.p99
+    print(f"hp p99 with BE kill vs fault-free: {ratio:.2f}x "
+          "(a dying best-effort job does not disturb the HP client)")
+    hp_entry = hp_kill.ledger.client("hp")
+    print(f"hp recovery after kill: {hp_entry.restarts} restart(s), "
+          f"time-to-recover {hp_entry.recovery_times} s")
+    same = run_fault_scenario(
+        seed=SEED, duration=DURATION,
+        plan=FaultPlan((KillClient("be-0", at_time=DURATION * 0.4),)),
+    )
+    print("ledger determinism (same seed, same plan): "
+          f"{be_kill.ledger.to_json() == same.ledger.to_json()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.gpu.device import GpuDevice
+from repro.gpu.errors import CudaError, CudaErrorCode
 from repro.kernels.kernel import KernelOp, MemoryOp
 from repro.runtime.backend import Backend, ClientInfo, Op, SoftwareQueue
 from repro.sim.engine import Simulator
@@ -85,7 +86,7 @@ class ReefBackend(Backend):
             spawn(self.sim, self._run_scheduler(), "reef-scheduler")
 
     def submit(self, client_id: str, op: Op) -> Signal:
-        info = self.clients[client_id]
+        info = self.client_info(client_id)
         if info.high_priority:
             done = self._hp_queue.push(op)
         elif isinstance(op, MemoryOp):
@@ -96,6 +97,33 @@ class ReefBackend(Backend):
             done = self._be[client_id].queue.push(op)
         self._wake_scheduler()
         return done
+
+    def _deregister_cleanup(self, info: ClientInfo) -> None:
+        client_id = info.client_id
+        error = CudaError(CudaErrorCode.CLIENT_KILLED,
+                          "client deregistered with ops pending",
+                          client_id=client_id, time=self.sim.now)
+        # Repair scheduler bookkeeping before any signal fires: a
+        # triggered signal can resume the scheduler synchronously, and
+        # it must never observe the dead client in its state.
+        if client_id == self._hp_client_id:
+            hp_queue, hp_stream = self._hp_queue, self._hp_stream
+            self._hp_stream = None
+            self._hp_queue = None
+            self._hp_client_id = None
+            for _op, done in hp_queue.drain():
+                done.trigger(None, error=error)
+            self.device.destroy_stream(hp_stream, error=error)
+        elif client_id in self._be:
+            state = self._be.pop(client_id)
+            self._be_order.remove(client_id)
+            self._rr_index = self._rr_index % len(self._be_order) \
+                if self._be_order else 0
+            for _op, done in state.queue.drain():
+                done.trigger(None, error=error)
+            self.device.destroy_stream(state.stream, error=error)
+        self.device.release_client(client_id)
+        self._wake_scheduler()
 
     def _wake_scheduler(self) -> None:
         if not self._wake.triggered:
@@ -129,7 +157,8 @@ class ReefBackend(Backend):
                 while self.hp_pending:
                     op, done = self._hp_queue.pop()
                     inner = self._hp_stream.submit(op)
-                    inner.add_callback(lambda sig, d=done: d.trigger(sig.value))
+                    inner.add_callback(
+                        lambda sig, d=done: d.trigger(sig.value, error=sig.error))
                     self._watch(inner)
                     progressed = True
                 for offset in range(len(self._be_order)):
@@ -167,7 +196,7 @@ class ReefBackend(Backend):
 
         def on_done(sig, d=done, s=state):
             s.outstanding -= 1
-            d.trigger(sig.value)
+            d.trigger(sig.value, error=sig.error)
             self._wake_scheduler()
 
         inner.add_callback(on_done)

@@ -31,6 +31,9 @@ class TemporalBackend(Backend):
         self._streams: Dict[str, object] = {}
         self._gpu_lock = FifoLock(sim)
         self._holding: Optional[str] = None
+        # Outstanding (not yet granted) slice requests, for cancellation
+        # when a waiting client dies.
+        self._pending_grants: Dict[str, Signal] = {}
 
     def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
         info = self._register(client_id, high_priority, kind)
@@ -50,12 +53,15 @@ class TemporalBackend(Backend):
         return self._streams[client_id].submit(op)
 
     def begin_request(self, client_id: str) -> Optional[Signal]:
-        info = self.clients[client_id]
+        info = self.client_info(client_id)
         grant = self._gpu_lock.acquire(priority=info.priority, holder=client_id)
 
         def on_grant(_sig):
             self._holding = client_id
+            self._pending_grants.pop(client_id, None)
 
+        if not grant.triggered:
+            self._pending_grants[client_id] = grant
         grant.add_callback(on_grant)
         return grant
 
@@ -64,6 +70,21 @@ class TemporalBackend(Backend):
             raise RuntimeError(f"end_request from non-holder {client_id!r}")
         self._holding = None
         self._gpu_lock.release()
+
+    def _deregister_cleanup(self, info: ClientInfo) -> None:
+        client_id = info.client_id
+        # A dead client must not wedge the time-slice rotation: withdraw
+        # its queued slice request, or hand the GPU on if it held it.
+        pending = self._pending_grants.pop(client_id, None)
+        if pending is not None:
+            self._gpu_lock.cancel(pending)
+        if self._holding == client_id:
+            self._holding = None
+            self._gpu_lock.release()
+        stream = self._streams.pop(client_id, None)
+        if stream is not None:
+            self.device.destroy_stream(stream)
+        self.device.release_client(client_id)
 
     def devices(self) -> List[GpuDevice]:
         return [self.device]

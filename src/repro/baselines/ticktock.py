@@ -48,6 +48,7 @@ class TickTockBackend(Backend):
         return info
 
     def submit(self, client_id: str, op: Op) -> Signal:
+        self.client_info(client_id)
         return self._streams[client_id].submit(op)
 
     def phase_marker(self, client_id: str, phase: str) -> Optional[Signal]:
@@ -65,6 +66,23 @@ class TickTockBackend(Backend):
             for signal in waiting.values():
                 signal.trigger()
         return gate
+
+    def _deregister_cleanup(self, info: ClientInfo) -> None:
+        client_id = info.client_id
+        stream = self._streams.pop(client_id, None)
+        if stream is not None:
+            self.device.destroy_stream(stream)
+        self.device.release_client(client_id)
+        self._waiting.pop(client_id, None)
+        # A dead partner must not strand survivors at the barrier: if
+        # everyone still alive is already waiting, release them.  The
+        # base class removes the dead client from ``clients`` after this
+        # hook runs, hence the ``- 1``.
+        if self._waiting and len(self._waiting) >= len(self.clients) - 1:
+            waiting, self._waiting = self._waiting, {}
+            self.barriers_released += 1
+            for signal in waiting.values():
+                signal.trigger()
 
     def devices(self) -> List[GpuDevice]:
         return [self.device]

@@ -66,6 +66,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--arrivals", default="apollo",
                    choices=("apollo", "poisson"))
 
+    p = sub.add_parser("faults",
+                       help="fault-injection demo: kill clients mid-run, "
+                            "print the error/availability ledger")
+    p.add_argument("--backend", default="orion",
+                   choices=("orion", "reef", "streams", "priority-streams"),
+                   help="sharing technique")
+    p.add_argument("--model", default="mobilenet_v2", choices=MODEL_NAMES)
+    p.add_argument("--duration", type=float, default=0.2,
+                   help="simulated seconds (default 0.2)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--device", default="V100-16GB", choices=sorted(DEVICES))
+    p.add_argument("--kill", default="be-0",
+                   help="client to kill (hp, be-0, be-1, ...); "
+                        "'none' disables the kill")
+    p.add_argument("--kill-at", type=float, default=None,
+                   help="kill time in simulated seconds "
+                        "(default: 40%% of the horizon)")
+    p.add_argument("--be-clients", type=int, default=2,
+                   help="number of best-effort training clients")
+    p.add_argument("--watchdog", type=float, default=None, metavar="MULTIPLE",
+                   help="flag BE kernels overdue by MULTIPLE x their "
+                        "profiled duration (orion only)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the canonical ledger JSON instead of a table")
+
     p = sub.add_parser("profile", help="offline-profile one workload (§5.2)")
     p.add_argument("--model", required=True, choices=MODEL_NAMES)
     p.add_argument("--kind", default="inference",
@@ -126,6 +151,41 @@ def _print_experiment(result, as_json: bool) -> None:
         print(f"scheduler: {result.backend_stats}")
 
 
+def _run_faults(args) -> None:
+    from repro.faults import FaultPlan, KillClient, run_fault_scenario
+
+    plan = FaultPlan(())
+    if args.kill != "none":
+        valid = ["hp"] + [f"be-{i}" for i in range(args.be_clients)]
+        if args.kill not in valid:
+            raise SystemExit(
+                f"error: --kill {args.kill!r} names no client in this "
+                f"scenario (choose from {', '.join(valid)}, or 'none')")
+        kill_at = args.kill_at if args.kill_at is not None \
+            else args.duration * 0.4
+        plan = FaultPlan((KillClient(args.kill, at_time=kill_at),))
+    result = run_fault_scenario(
+        seed=args.seed, duration=args.duration, plan=plan,
+        backend=args.backend, be_clients=args.be_clients,
+        model=args.model, device=args.device,
+        watchdog_multiple=args.watchdog,
+    )
+    if args.json:
+        print(result.ledger.to_json())
+        return
+    print("fault plan:")
+    for line in result.plan.describe().splitlines():
+        print(f"  {line}")
+    print()
+    print(result.ledger.format_table())
+    if result.hp_latency.count:
+        print(f"\nhp latency: p50 {result.hp_latency.p50*1e3:.2f} ms   "
+              f"p99 {result.hp_latency.p99*1e3:.2f} ms   "
+              f"({result.hp_latency.count} requests)")
+    if result.backend_stats:
+        print(f"scheduler: {result.backend_stats}")
+
+
 def _run_profile(args) -> None:
     profile = get_profile(args.model, args.kind, get_device(args.device))
     if args.out:
@@ -147,6 +207,9 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "profile":
         _run_profile(args)
+        return 0
+    if args.command == "faults":
+        _run_faults(args)
         return 0
     result = run_experiment(_experiment_config(args))
     _print_experiment(result, args.json)

@@ -11,7 +11,7 @@ shrinks downward.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.profiler.profiles import ProfileStore

@@ -25,11 +25,18 @@ from typing import Dict, List, Optional
 
 from repro.gpu.cuda_events import CudaEvent
 from repro.gpu.device import GpuDevice
+from repro.gpu.errors import CudaError, CudaErrorCode
 from repro.kernels.kernel import KernelOp, MemoryOp, ResourceProfile
 from repro.profiler.profiles import KernelProfile, ProfileStore
-from repro.runtime.backend import Backend, ClientInfo, Op, SoftwareQueue
+from repro.runtime.backend import (
+    Backend,
+    ClientInfo,
+    Op,
+    SoftwareQueue,
+    UnknownClientError,
+)
 from repro.sim.engine import Simulator
-from repro.sim.process import Signal, spawn
+from repro.sim.process import Signal, Timeout, spawn
 
 from .policy import PolicyConfig, duration_throttled, schedule_be
 
@@ -48,13 +55,26 @@ class OrionConfig(PolicyConfig):
     host<->device copies are held in the software queue while a
     high-priority transfer occupies the PCIe bus, so the latency-
     critical job's copies get the full bus bandwidth.
+
+    ``watchdog_multiple`` (off when None) arms a watchdog that flags a
+    best-effort kernel whose completion is overdue by that multiple of
+    its profiled duration; flags are surfaced in backend telemetry.
+    ``watchdog_interval`` is the watchdog's polling period in seconds.
     """
 
     def __init__(self, hp_request_latency: Optional[float] = None,
-                 manage_pcie: bool = False, **kwargs):
+                 manage_pcie: bool = False,
+                 watchdog_multiple: Optional[float] = None,
+                 watchdog_interval: float = 1e-3, **kwargs):
         super().__init__(**kwargs)
+        if watchdog_multiple is not None and watchdog_multiple <= 0:
+            raise ValueError("watchdog_multiple must be positive")
+        if watchdog_interval <= 0:
+            raise ValueError("watchdog_interval must be positive")
         self.hp_request_latency = hp_request_latency
         self.manage_pcie = manage_pcie
+        self.watchdog_multiple = watchdog_multiple
+        self.watchdog_interval = watchdog_interval
 
 
 class _BeClientState:
@@ -103,7 +123,12 @@ class OrionBackend(Backend):
         self.be_kernels_deferred = 0
         self.profile_misses = 0
         self.hp_requests_completed = 0
+        self.clients_deregistered = 0
         self._hp_transfers_active = 0
+        # Watchdog state: flagged overdue BE kernels (op seq -> record).
+        self.watchdog_flags: List[dict] = []
+        self._watchdog_seen: set = set()
+        self._watchdog_wake = Signal(sim)
 
     # ------------------------------------------------------------------
     # Backend interface
@@ -135,16 +160,18 @@ class OrionBackend(Backend):
         if not self._started:
             self._started = True
             spawn(self.sim, self._run_scheduler(), "orion-scheduler")
+            if self.config.watchdog_multiple is not None:
+                spawn(self.sim, self._run_watchdog(), "orion-watchdog")
 
     def submit(self, client_id: str, op: Op) -> Signal:
-        info = self.clients[client_id]
+        info = self.client_info(client_id)
         if isinstance(op, MemoryOp):
             # With PCIe management on, best-effort transfers go through
             # the software queue so the scheduler can keep the bus clear
             # for high-priority copies (§5.1.3 extension).
             if (self.config.manage_pcie and not info.high_priority
                     and op.kind.is_transfer):
-                done = self._be[client_id].queue.push(op)
+                done = self._be_state(client_id).queue.push(op)
                 self._wake_scheduler()
                 return done
             # Otherwise memory ops bypass the kernel policy.  Their
@@ -160,7 +187,7 @@ class OrionBackend(Backend):
         if info.high_priority:
             done = self._hp_queue.push(op)
         else:
-            done = self._be[client_id].queue.push(op)
+            done = self._be_state(client_id).queue.push(op)
         self._wake_scheduler()
         return done
 
@@ -168,6 +195,45 @@ class OrionBackend(Backend):
         if client_id == self._hp_client_id:
             self._hp_request_started_at = self.sim.now
         return None
+
+    def _deregister_cleanup(self, info: ClientInfo) -> None:
+        """Self-healing teardown for a dead client (§7's cluster-manager
+        duty, absorbed into the scheduler): drain its software queue
+        with errored signals, destroy its stream, free its allocations,
+        repair the round-robin state, and — for the high-priority
+        client — vacate the HP slot so a successor can register."""
+        client_id = info.client_id
+        error = CudaError(CudaErrorCode.CLIENT_KILLED,
+                          "client deregistered with ops pending",
+                          client_id=client_id, time=self.sim.now)
+        # Scheduler bookkeeping is repaired *before* any signal fires:
+        # triggering a drained/destroyed op's signal can resume the
+        # scheduler process synchronously, and it must never observe the
+        # dead client in its round-robin order or HP slot.
+        if client_id == self._hp_client_id:
+            hp_queue, hp_stream = self._hp_queue, self._hp_stream
+            self._hp_queue = None
+            self._hp_stream = None
+            self._hp_client_id = None
+            self._current_hp = None
+            self._hp_request_started_at = None
+            # A successor HP client is a different workload: its latency
+            # estimate must be re-learned, not inherited from the dead one.
+            self._hp_latency_ewma = None
+            for _op, done in hp_queue.drain():
+                done.trigger(None, error=error)
+            self.device.destroy_stream(hp_stream, error=error)
+        elif client_id in self._be:
+            state = self._be.pop(client_id)
+            self._be_order.remove(client_id)
+            self._rr_index = self._rr_index % len(self._be_order) \
+                if self._be_order else 0
+            for _op, done in state.queue.drain():
+                done.trigger(None, error=error)
+            self.device.destroy_stream(state.stream, error=error)
+        self.device.release_client(client_id)
+        self.clients_deregistered += 1
+        self._wake_scheduler()
 
     def end_request(self, client_id: str) -> None:
         if client_id == self._hp_client_id and self._hp_request_started_at is not None:
@@ -182,14 +248,24 @@ class OrionBackend(Backend):
     # ------------------------------------------------------------------
     # Scheduler internals
     # ------------------------------------------------------------------
+    def _be_state(self, client_id: str) -> _BeClientState:
+        try:
+            return self._be[client_id]
+        except KeyError:
+            raise UnknownClientError(client_id, self.name) from None
+
     def _memory_stream_for(self, client_id: str, info: ClientInfo):
         if info.high_priority:
             return self._hp_stream
-        return self._be[client_id].stream
+        return self._be_state(client_id).stream
 
     def _wake_scheduler(self) -> None:
         if not self._wake.triggered:
             self._wake.trigger()
+
+    def _wake_watchdog(self) -> None:
+        if not self._watchdog_wake.triggered:
+            self._watchdog_wake.trigger()
 
     @property
     def hp_task_running(self) -> bool:
@@ -280,8 +356,46 @@ class OrionBackend(Backend):
         self._hp_transfers_active -= 1
         self._wake_scheduler()
 
+    def _run_watchdog(self):
+        """Flag best-effort kernels whose completion event is overdue by
+        ``watchdog_multiple`` x their profiled duration.  Real GPU stacks
+        use this to detect hung/runaway kernels; here the flags feed the
+        availability telemetry."""
+        multiple = self.config.watchdog_multiple
+        while True:
+            # Sleep while no best-effort stream has work: a free-running
+            # poll loop would keep the event calendar non-empty forever
+            # and an un-bounded sim.run() could never drain.
+            if not any(state.stream.busy for state in self._be.values()):
+                self._watchdog_wake = Signal(self.sim)
+                yield self._watchdog_wake
+                continue
+            yield Timeout(self.config.watchdog_interval)
+            now = self.sim.now
+            for client_id, state in self._be.items():
+                in_flight = state.stream.in_flight
+                if in_flight is None or in_flight.started_at is None:
+                    continue
+                op = in_flight.op
+                if not isinstance(op, KernelOp) or op.seq in self._watchdog_seen:
+                    continue
+                # Profile lookup without the _be_profile miss counter:
+                # the watchdog polls, and polling must not skew stats.
+                profile = self.profiles.lookup(op.spec.name)
+                expected = profile.duration if profile is not None else op.duration
+                deadline = in_flight.started_at + multiple * expected
+                if now > deadline:
+                    self._watchdog_seen.add(op.seq)
+                    self.watchdog_flags.append({
+                        "time": now,
+                        "client": client_id,
+                        "kernel": op.spec.name,
+                        "expected_duration": expected,
+                        "overdue_by": now - deadline,
+                    })
+
     def _try_launch_be(self, client_id: str) -> bool:
-        state = self._be[client_id]
+        state = self._be_state(client_id)
         op = state.queue.peek()
         if op is None:
             return False
@@ -320,11 +434,12 @@ class OrionBackend(Backend):
         state.event.record(state.stream)
         self._watch_stream(inner)
         self.be_kernels_launched += 1
+        self._wake_watchdog()
         return True
 
     def _chain(self, inner: Signal, outer: Signal) -> None:
         """Forward the stream's completion to the client's signal."""
-        inner.add_callback(lambda sig: outer.trigger(sig.value))
+        inner.add_callback(lambda sig: outer.trigger(sig.value, error=sig.error))
 
     def _watch_stream(self, done: Signal) -> None:
         """Re-evaluate the policy when a submitted op completes."""

@@ -22,7 +22,6 @@ from repro.baselines import (
     TickTockBackend,
 )
 from repro.core import OrionBackend, OrionConfig
-from repro.frameworks.lowering import OpPlan
 from repro.gpu.device import GpuDevice
 from repro.gpu.specs import DeviceSpec, get_device
 from repro.metrics.latency import LatencySummary, summarize_latencies
@@ -213,6 +212,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             "be_kernels_deferred": backend.be_kernels_deferred,
             "profile_misses": backend.profile_misses,
             "sm_threshold": backend.sm_threshold,
+            "clients_deregistered": backend.clients_deregistered,
+            "watchdog_flags": len(backend.watchdog_flags),
         }
     return result
 

@@ -1,0 +1,25 @@
+"""Deterministic fault injection: plans, the injector process, and the
+canonical collocation-under-faults scenario."""
+
+from .injector import FaultInjector
+from .plan import (
+    FaultEvent,
+    FaultPlan,
+    KernelFault,
+    KillClient,
+    ProfileFault,
+    TransferFault,
+)
+from .scenario import FaultScenarioResult, run_fault_scenario
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultScenarioResult",
+    "KernelFault",
+    "KillClient",
+    "ProfileFault",
+    "TransferFault",
+    "run_fault_scenario",
+]

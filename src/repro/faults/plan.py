@@ -1,0 +1,201 @@
+"""Deterministic fault-injection plans.
+
+A :class:`FaultPlan` is an immutable sequence of fault events — client
+kills, kernel faults, PCIe transfer failures, profile corruption — that
+a :class:`repro.faults.injector.FaultInjector` executes against a
+running simulation.  Plans are plain data: they can be constructed by
+hand for targeted tests or sampled deterministically from a seed via
+:meth:`FaultPlan.sample` (driven by :class:`repro.sim.rng.RngFactory`,
+so the same seed always yields the same faults regardless of what else
+the experiment draws).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.sim.rng import RngFactory
+
+__all__ = [
+    "FaultEvent",
+    "KillClient",
+    "KernelFault",
+    "TransferFault",
+    "ProfileFault",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base class for plan entries."""
+
+    def describe(self) -> str:
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class KillClient(FaultEvent):
+    """Kill a client at an absolute time or after it issues N ops.
+
+    Exactly one of ``at_time`` / ``after_ops`` must be set.
+    """
+
+    client: str
+    at_time: Optional[float] = None
+    after_ops: Optional[int] = None
+
+    def __post_init__(self):
+        if (self.at_time is None) == (self.after_ops is None):
+            raise ValueError(
+                "KillClient requires exactly one of at_time / after_ops"
+            )
+        if self.at_time is not None and self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+        if self.after_ops is not None and self.after_ops < 1:
+            raise ValueError("after_ops must be >= 1")
+
+    def describe(self) -> str:
+        if self.at_time is not None:
+            return f"kill client {self.client!r} at t={self.at_time:.6f}"
+        return f"kill client {self.client!r} after {self.after_ops} ops"
+
+
+@dataclass(frozen=True)
+class KernelFault(FaultEvent):
+    """Arm the device so the next launch(es) of a named kernel fault."""
+
+    kernel: str
+    at_time: float = 0.0
+    client: Optional[str] = None
+    count: int = 1
+
+    def __post_init__(self):
+        if self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    def describe(self) -> str:
+        who = f" (client {self.client!r})" if self.client else ""
+        return (f"fault kernel {self.kernel!r}{who} x{self.count} "
+                f"from t={self.at_time:.6f}")
+
+
+@dataclass(frozen=True)
+class TransferFault(FaultEvent):
+    """Arm the device so the next PCIe transfer(s) fail."""
+
+    at_time: float = 0.0
+    count: int = 1
+
+    def __post_init__(self):
+        if self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    def describe(self) -> str:
+        return f"fail {self.count} PCIe transfer(s) from t={self.at_time:.6f}"
+
+
+@dataclass(frozen=True)
+class ProfileFault(FaultEvent):
+    """Drop or corrupt a kernel's profile entry before the run starts.
+
+    ``mode="drop"`` removes the entry (the scheduler falls back to its
+    profile-miss path); ``mode="corrupt"`` multiplies the profiled
+    duration by ``factor`` (feeding the watchdog false expectations).
+    """
+
+    kernel: str
+    mode: str = "corrupt"
+    factor: float = 10.0
+
+    def __post_init__(self):
+        if self.mode not in ("drop", "corrupt"):
+            raise ValueError(f"mode must be 'drop' or 'corrupt', got {self.mode!r}")
+        if self.factor <= 0:
+            raise ValueError("factor must be > 0")
+
+    def describe(self) -> str:
+        if self.mode == "drop":
+            return f"drop profile entry {self.kernel!r}"
+        return f"corrupt profile entry {self.kernel!r} (duration x{self.factor:g})"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered collection of fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def timed_events(self) -> List[FaultEvent]:
+        """Events executed at an absolute time, in execution order.
+
+        Ties break by plan position, so execution order is a pure
+        function of the plan.
+        """
+        timed = [(ev.at_time, i, ev) for i, ev in enumerate(self.events)
+                 if getattr(ev, "at_time", None) is not None]
+        timed.sort(key=lambda item: (item[0], item[1]))
+        return [ev for _, _, ev in timed]
+
+    def op_triggered_kills(self) -> List[KillClient]:
+        return [ev for ev in self.events
+                if isinstance(ev, KillClient) and ev.after_ops is not None]
+
+    def profile_faults(self) -> List[ProfileFault]:
+        return [ev for ev in self.events if isinstance(ev, ProfileFault)]
+
+    def describe(self) -> str:
+        if not self.events:
+            return "(empty fault plan)"
+        return "\n".join(ev.describe() for ev in self.events)
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        clients: Sequence[str],
+        kernels: Sequence[str] = (),
+        horizon: float = 1.0,
+        max_kills: int = 1,
+        kernel_faults: int = 0,
+        transfer_faults: int = 0,
+    ) -> "FaultPlan":
+        """Draw a deterministic plan from ``seed``.
+
+        Kill times land in the middle 80% of the horizon so startup and
+        drain are never faulted; the same (seed, arguments) pair always
+        produces the identical plan.
+        """
+        rng = RngFactory(seed).stream("fault-plan")
+        events: List[FaultEvent] = []
+        victims = list(clients)
+        n_kills = min(max_kills, len(victims))
+        if n_kills > 0:
+            chosen = rng.choice(len(victims), size=n_kills, replace=False)
+            for index in sorted(int(i) for i in chosen):
+                at = float(rng.uniform(0.1, 0.9)) * horizon
+                events.append(KillClient(victims[index], at_time=at))
+        pool = list(kernels)
+        if pool:
+            for _ in range(kernel_faults):
+                kernel = pool[int(rng.integers(len(pool)))]
+                at = float(rng.uniform(0.1, 0.9)) * horizon
+                events.append(KernelFault(kernel, at_time=at))
+        for _ in range(transfer_faults):
+            at = float(rng.uniform(0.1, 0.9)) * horizon
+            events.append(TransferFault(at_time=at))
+        return cls(tuple(events))

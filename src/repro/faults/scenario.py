@@ -1,0 +1,166 @@
+"""Canonical fault-injection scenario: Orion collocation under faults.
+
+One high-priority inference client and N best-effort training clients
+share a GPU; a seeded :class:`~repro.faults.plan.FaultPlan` injects
+client kills (and optionally kernel/transfer faults) mid-run.  Clients
+run under restart supervisors, so the scenario exercises the full
+recovery loop: death → deregistration (queue drained, stream destroyed,
+memory freed, scheduler state repaired) → backoff → re-registration →
+serving again.  Used by ``python -m repro faults``, the
+``examples/fault_tolerance.py`` demo, and the recovery benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines import PriorityStreamsBackend, ReefBackend, StreamsBackend
+from repro.core import OrionBackend, OrionConfig
+from repro.experiments.runner import get_profile
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import get_device
+from repro.metrics.availability import ErrorLedger
+from repro.metrics.latency import LatencySummary, summarize_latencies
+from repro.profiler.profiles import ProfileStore
+from repro.runtime.client import ClientContext
+from repro.runtime.host import HostGil, HostThread
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.clients import (
+    ClientStats,
+    RestartingInferenceClient,
+    RestartingTrainingClient,
+)
+from repro.workloads.models import get_plan
+
+from .injector import FaultInjector
+from .plan import FaultPlan, KillClient
+
+__all__ = ["FaultScenarioResult", "run_fault_scenario"]
+
+
+@dataclass
+class FaultScenarioResult:
+    """Everything one fault scenario produced."""
+
+    plan: FaultPlan
+    ledger: ErrorLedger
+    jobs: Dict[str, ClientStats]
+    hp_latency: LatencySummary
+    backend_stats: Dict = field(default_factory=dict)
+
+    @property
+    def hp_stats(self) -> ClientStats:
+        return self.jobs["hp"]
+
+
+def _make_backend(name: str, sim: Simulator, device: GpuDevice,
+                  store: ProfileStore, hp_latency: float,
+                  watchdog_multiple: Optional[float]):
+    if name == "orion":
+        return OrionBackend(sim, device, store, OrionConfig(
+            hp_request_latency=hp_latency,
+            watchdog_multiple=watchdog_multiple,
+        ))
+    if name == "reef":
+        return ReefBackend(sim, device)
+    if name == "streams":
+        return StreamsBackend(sim, device)
+    if name == "priority-streams":
+        return PriorityStreamsBackend(sim, device)
+    raise ValueError(f"unknown backend {name!r} for fault scenario")
+
+
+def run_fault_scenario(
+    seed: int = 0,
+    duration: float = 0.2,
+    plan: Optional[FaultPlan] = None,
+    backend: str = "orion",
+    be_clients: int = 2,
+    model: str = "mobilenet_v2",
+    device: str = "V100-16GB",
+    hp_rps: float = 100.0,
+    watchdog_multiple: Optional[float] = None,
+    warmup: float = 0.0,
+) -> FaultScenarioResult:
+    """Run the collocation-under-faults scenario and return its ledger.
+
+    With no explicit ``plan``, the first best-effort client is killed at
+    40% of the horizon — the paper-style "BE job dies, HP job must not
+    notice" experiment.  Fully deterministic under (seed, arguments).
+    """
+    if plan is None:
+        plan = FaultPlan((KillClient("be-0", at_time=duration * 0.4),))
+
+    sim = Simulator()
+    device_spec = get_device(device)
+    rng_factory = RngFactory(seed)
+    ledger = ErrorLedger()
+
+    store = ProfileStore()
+    inf_profile = get_profile(model, "inference", device_spec)
+    store.add(inf_profile)
+    store.add(get_profile(model, "training", device_spec))
+
+    gpu = GpuDevice(sim, device_spec)
+    be = _make_backend(backend, sim, gpu, store,
+                       inf_profile.request_latency, watchdog_multiple)
+
+    gil = HostGil(sim)
+
+    def make_ctx(name: str, high_priority: bool, kind: str) -> ClientContext:
+        host = HostThread(sim, gil=gil,
+                          interception_overhead=be.interception_overhead())
+        return ClientContext(be, name, host,
+                             high_priority=high_priority, kind=kind)
+
+    clients: List = []
+    hp_plan = get_plan(model, "inference")
+    hp = RestartingInferenceClient(
+        sim, make_ctx("hp", True, "inference"), hp_plan, device_spec,
+        PoissonArrivals(hp_rps, rng_factory.stream("poisson:hp")),
+        "hp", horizon=duration,
+        ctx_factory=lambda: make_ctx("hp", True, "inference"),
+        ledger=ledger,
+    )
+    clients.append(hp)
+    train_plan = get_plan(model, "training")
+    for i in range(be_clients):
+        name = f"be-{i}"
+        clients.append(RestartingTrainingClient(
+            sim, make_ctx(name, False, "training"), train_plan, device_spec,
+            name, horizon=duration,
+            ctx_factory=lambda n=name: make_ctx(n, False, "training"),
+            ledger=ledger,
+        ))
+
+    injector = FaultInjector(
+        sim, plan, device=gpu,
+        clients={c.name: c for c in clients},
+        profiles=store,
+    ).start()
+
+    be.start()
+    for client in clients:
+        client.start()
+    sim.run(until=duration)
+
+    for entry in injector.log:
+        ledger.record_injection(entry)
+
+    jobs = {c.name: c.stats for c in clients}
+    hp_latency = summarize_latencies(hp.stats.records, after=warmup)
+
+    backend_stats: Dict = {}
+    if isinstance(be, OrionBackend):
+        backend_stats = {
+            "be_kernels_launched": be.be_kernels_launched,
+            "be_kernels_deferred": be.be_kernels_deferred,
+            "clients_deregistered": be.clients_deregistered,
+            "watchdog_flags": len(be.watchdog_flags),
+        }
+    return FaultScenarioResult(plan=plan, ledger=ledger, jobs=jobs,
+                               hp_latency=hp_latency,
+                               backend_stats=backend_stats)

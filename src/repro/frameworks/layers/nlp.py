@@ -12,7 +12,7 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
-from ..module import Built, Module, Namer, Sequential, Shape
+from ..module import Built, Module, Namer, Shape
 from ..specbuild import elementwise_spec, gemm_spec, reduction_spec, softmax_spec
 
 __all__ = [

@@ -12,8 +12,6 @@ from __future__ import annotations
 import math
 from typing import Tuple
 
-from repro.kernels.kernel import KernelSpec
-
 from ..module import Built, Module, Namer, Shape
 from ..specbuild import (
     conv2d_spec,

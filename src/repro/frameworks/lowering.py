@@ -22,7 +22,7 @@ from typing import List, Optional, Union
 from repro.kernels.costmodel import instantiate_kernel
 from repro.kernels.kernel import KernelOp, KernelSpec, MemoryOp, MemoryOpKind
 
-from .module import Built, Module, Namer
+from .module import Module, Namer
 from .specbuild import FP32_BYTES, elementwise_spec
 
 __all__ = ["PlannedOp", "OpPlan", "lower_inference", "lower_training", "instantiate_plan"]

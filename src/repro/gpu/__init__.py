@@ -2,7 +2,8 @@
 
 from .contention import ContentionModel, ContentionParams, profile_similarity
 from .cuda_events import CudaEvent
-from .device import GpuDevice, RunningKernel
+from .device import ArmedKernelFault, GpuDevice, RunningKernel
+from .errors import CudaError, CudaErrorCode
 from .memory import Allocation, DeviceMemory, GpuOutOfMemoryError
 from .pcie import PcieEngine
 from .specs import A100_40GB, DEVICES, V100_16GB, DeviceSpec, get_device
@@ -11,6 +12,9 @@ from .streams import DEFAULT_PRIORITY, HIGH_PRIORITY, Stream, StreamOp
 __all__ = [
     "GpuDevice",
     "RunningKernel",
+    "ArmedKernelFault",
+    "CudaError",
+    "CudaErrorCode",
     "DeviceSpec",
     "V100_16GB",
     "A100_40GB",

@@ -30,14 +30,38 @@ from repro.sim.engine import ScheduledEvent, Simulator
 from repro.sim.process import Signal
 
 from .contention import ContentionModel, ContentionParams
-from .memory import DeviceMemory
+from .errors import CudaError, CudaErrorCode
+from .memory import DeviceMemory, GpuOutOfMemoryError
 from .pcie import PcieEngine
 from .specs import DeviceSpec
 from .streams import Stream, StreamOp
 
-__all__ = ["GpuDevice", "RunningKernel"]
+__all__ = ["GpuDevice", "RunningKernel", "ArmedKernelFault"]
 
 _EPS = 1e-12
+
+# Time a faulting kernel occupies its stream before the launch failure
+# is reported (real faulting kernels abort almost immediately).
+FAULT_REPORT_LATENCY = 1e-6
+
+
+class ArmedKernelFault:
+    """A pending injected fault: the next matching kernel launch fails."""
+
+    __slots__ = ("kernel_name", "client_id", "count")
+
+    def __init__(self, kernel_name: str, client_id: Optional[str] = None,
+                 count: int = 1):
+        if count < 1:
+            raise ValueError("fault count must be >= 1")
+        self.kernel_name = kernel_name
+        self.client_id = client_id
+        self.count = count
+
+    def matches(self, op: KernelOp) -> bool:
+        if op.spec.name != self.kernel_name:
+            return False
+        return self.client_id is None or op.client_id == self.client_id
 
 
 class RunningKernel:
@@ -84,10 +108,16 @@ class GpuDevice:
         self._active_transfers = 0
         # Live allocations per client (for cudaFree matching).
         self._allocations: Dict[str, List] = {}
+        # Armed fault-injection state (see repro.faults).
+        self._armed_kernel_faults: List[ArmedKernelFault] = []
+        self._armed_transfer_faults = 0
         # Telemetry.
         self.record_utilization = record_utilization
         self.utilization_segments: List[Tuple[float, float, float, float, float]] = []
         self.kernels_completed = 0
+        self.kernels_faulted = 0
+        self.transfers_faulted = 0
+        self.oom_failures = 0
         self.kernel_busy_time = 0.0
 
     # ------------------------------------------------------------------
@@ -97,6 +127,76 @@ class GpuDevice:
         stream = Stream(self, priority=priority, name=name)
         self.streams.append(stream)
         return stream
+
+    def destroy_stream(self, stream: Stream, error: Optional[CudaError] = None) -> int:
+        """Tear down a stream: queued (undispatched) ops complete with an
+        error; an in-flight op runs to completion (kernels are not
+        preemptible).  Returns the number of ops cancelled."""
+        if error is None:
+            error = CudaError(CudaErrorCode.CLIENT_KILLED,
+                              f"stream {stream.name} destroyed",
+                              time=self.sim.now)
+        cancelled = list(stream.queue)
+        stream.queue.clear()
+        # Device-synchronizing ops the dispatcher already parked.
+        doomed_syncs = [s for s in self._pending_syncs if s.stream is stream]
+        for head in doomed_syncs:
+            self._pending_syncs.remove(head)
+            if stream.in_flight is head:
+                stream.in_flight = None
+            cancelled.append(head)
+        if stream in self.streams:
+            self.streams.remove(stream)
+        for head in cancelled:
+            head.finished_at = self.sim.now
+            head.done.trigger(None, error=error)
+        self._schedule_dispatch()
+        return len(cancelled)
+
+    def release_client(self, client_id: str) -> int:
+        """Free every allocation owned by ``client_id`` (dead-client
+        cleanup); returns bytes freed."""
+        freed = self.memory.release_client(client_id)
+        self._allocations.pop(client_id, None)
+        return freed
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.faults)
+    # ------------------------------------------------------------------
+    def arm_kernel_fault(self, kernel_name: str, client_id: Optional[str] = None,
+                         count: int = 1) -> None:
+        """Make the next ``count`` launches of ``kernel_name`` (optionally
+        restricted to one client) fail with a sticky launch failure."""
+        self._armed_kernel_faults.append(
+            ArmedKernelFault(kernel_name, client_id, count))
+
+    def arm_transfer_fault(self, count: int = 1) -> None:
+        """Make the next ``count`` PCIe transfers fail."""
+        if count < 1:
+            raise ValueError("fault count must be >= 1")
+        self._armed_transfer_faults += count
+
+    def _consume_kernel_fault(self, op: KernelOp) -> Optional[CudaError]:
+        for fault in self._armed_kernel_faults:
+            if fault.matches(op):
+                fault.count -= 1
+                if fault.count == 0:
+                    self._armed_kernel_faults.remove(fault)
+                return CudaError(CudaErrorCode.LAUNCH_FAILURE,
+                                 "injected kernel fault",
+                                 client_id=op.client_id,
+                                 kernel=op.spec.name,
+                                 time=self.sim.now)
+        return None
+
+    def _consume_transfer_fault(self, op: MemoryOp) -> Optional[CudaError]:
+        if self._armed_transfer_faults <= 0:
+            return None
+        self._armed_transfer_faults -= 1
+        return CudaError(CudaErrorCode.TRANSFER_FAILURE,
+                         "injected PCIe transfer fault",
+                         client_id=op.client_id,
+                         time=self.sim.now)
 
     def notify_work(self, _stream: Stream) -> None:
         """Called by streams on submit; coalesces dispatch passes."""
@@ -157,6 +257,20 @@ class GpuDevice:
                 continue
             # Kernel admission.
             if kernels_gated or self._dispatch_blockers > 0:
+                continue
+            fault = self._consume_kernel_fault(op) \
+                if self._armed_kernel_faults else None
+            if fault is not None:
+                # The kernel is dispatched but crashes almost instantly:
+                # it never occupies SMs, and its completion signal
+                # carries the (sticky) launch failure.
+                stream.queue.popleft()
+                stream.in_flight = head
+                head.started_at = self.sim.now
+                self.kernels_faulted += 1
+                self.sim.call_in(
+                    FAULT_REPORT_LATENCY,
+                    lambda h=head, e=fault: self._finish_faulted_op(h, e))
                 continue
             if not self._admit_ok(op):
                 # Respect priority: a stalled higher-priority kernel
@@ -247,12 +361,17 @@ class GpuDevice:
         for done in to_signal:
             done.trigger(self.sim.now)
 
-    def _finish_stream_op(self, stream_op: StreamOp) -> None:
+    def _finish_stream_op(self, stream_op: StreamOp,
+                          error: Optional[CudaError] = None) -> None:
         stream_op.finished_at = self.sim.now
         stream = stream_op.stream
         stream.in_flight = None
         stream.ops_completed += 1
-        stream_op.done.trigger(self.sim.now)
+        stream_op.done.trigger(self.sim.now, error=error)
+
+    def _finish_faulted_op(self, stream_op: StreamOp, error: CudaError) -> None:
+        self._finish_stream_op(stream_op, error=error)
+        self._schedule_dispatch()
 
     # ------------------------------------------------------------------
     # Memory operations
@@ -268,6 +387,16 @@ class GpuDevice:
             self._active_transfers += 1
             if op.blocking:
                 self._dispatch_blockers += 1
+            fault = self._consume_transfer_fault(op) \
+                if self._armed_transfer_faults else None
+            if fault is not None:
+                # The bus rejects the copy after its setup latency; the
+                # op completes with a transfer failure instead of data.
+                self.transfers_faulted += 1
+                self.sim.call_in(
+                    self.pcie.latency,
+                    lambda h=head, o=op, e=fault: self._finish_transfer(h, o, e))
+                return
             done = self.pcie.start_transfer(op.nbytes, direction)
             done.add_callback(lambda _sig, s=stream, h=head, o=op: self._finish_transfer(h, o))
         elif op.kind is MemoryOpKind.MEMSET:
@@ -278,11 +407,12 @@ class GpuDevice:
         else:  # pragma: no cover - syncs are routed earlier
             raise AssertionError(f"unexpected memory op {op.kind} in _start_memory_op")
 
-    def _finish_transfer(self, head: StreamOp, op: MemoryOp) -> None:
+    def _finish_transfer(self, head: StreamOp, op: MemoryOp,
+                         error: Optional[CudaError] = None) -> None:
         self._active_transfers -= 1
         if op.blocking:
             self._dispatch_blockers -= 1
-        self._finish_stream_op(head)
+        self._finish_stream_op(head, error=error)
         self._schedule_dispatch()
 
     def _finish_simple_op(self, head: StreamOp) -> None:
@@ -298,11 +428,20 @@ class GpuDevice:
         head = self._pending_syncs.popleft()
         self._sync_in_progress = True
         head.started_at = self.sim.now
-        self._apply_memory_op(head.op)
+        error: Optional[CudaError] = None
+        try:
+            self._apply_memory_op(head.op)
+        except GpuOutOfMemoryError as exc:
+            # CUDA-style: cudaMalloc returns cudaErrorMemoryAllocation
+            # (non-sticky) to the calling client rather than tearing
+            # down the whole simulation.
+            self.oom_failures += 1
+            error = CudaError(CudaErrorCode.OUT_OF_MEMORY, str(exc),
+                              client_id=head.op.client_id, time=self.sim.now)
 
-        def finish(h=head):
+        def finish(h=head, e=error):
             self._sync_in_progress = False
-            self._finish_stream_op(h)
+            self._finish_stream_op(h, error=e)
             self._schedule_dispatch()
 
         self.sim.call_in(self.spec.device_sync_latency, finish)

@@ -1,0 +1,73 @@
+"""CUDA-style error codes and the error record completion signals carry.
+
+Real CUDA reports failures through return codes, and distinguishes
+*sticky* errors (a faulting kernel corrupts the CUDA context: every
+subsequent call in that process returns the same error until the device
+is reset) from *non-sticky* ones (``cudaErrorMemoryAllocation`` — the
+call failed but the context is intact and the caller may retry).  The
+simulator mirrors those semantics: a failed operation's completion
+signal triggers with a :class:`CudaError` payload instead of raising
+into the event loop, and :class:`repro.runtime.client.ClientContext`
+applies the sticky/non-sticky distinction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["CudaError", "CudaErrorCode"]
+
+
+class CudaErrorCode(enum.Enum):
+    """Failure classes surfaced to clients, mirroring CUDA runtime codes."""
+
+    #: A kernel faulted on the device (cudaErrorLaunchFailure) — sticky.
+    LAUNCH_FAILURE = "launch_failure"
+    #: cudaMalloc exceeded device memory (cudaErrorMemoryAllocation) —
+    #: non-sticky: the context survives and the caller may retry.
+    OUT_OF_MEMORY = "out_of_memory"
+    #: A host<->device copy failed on the bus — sticky (async failures
+    #: corrupt the context like launch failures do).
+    TRANSFER_FAILURE = "transfer_failure"
+    #: The owning client was killed/deregistered; pending ops complete
+    #: with this status — sticky for any context still holding it.
+    CLIENT_KILLED = "client_killed"
+    #: An op was rejected because the context already holds a sticky
+    #: error (the status CUDA returns on every call after corruption).
+    CONTEXT_POISONED = "context_poisoned"
+
+    @property
+    def sticky(self) -> bool:
+        """Whether this error permanently poisons the issuing context."""
+        return self in (
+            CudaErrorCode.LAUNCH_FAILURE,
+            CudaErrorCode.TRANSFER_FAILURE,
+            CudaErrorCode.CLIENT_KILLED,
+        )
+
+
+@dataclass(frozen=True)
+class CudaError:
+    """One failure event, attached to a completion signal's ``error``."""
+
+    code: CudaErrorCode
+    message: str = ""
+    client_id: Optional[str] = None
+    kernel: Optional[str] = None
+    time: Optional[float] = None
+
+    @property
+    def sticky(self) -> bool:
+        return self.code.sticky
+
+    def __str__(self) -> str:
+        parts = [self.code.value]
+        if self.kernel:
+            parts.append(f"kernel={self.kernel}")
+        if self.client_id:
+            parts.append(f"client={self.client_id}")
+        if self.message:
+            parts.append(self.message)
+        return ": ".join((parts[0], ", ".join(parts[1:]))) if len(parts) > 1 else parts[0]

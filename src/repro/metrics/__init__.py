@@ -1,11 +1,15 @@
-"""Metrics: latency digests, throughput, utilization aggregation, cost model."""
+"""Metrics: latency digests, throughput, utilization aggregation, cost
+model, and the error/availability ledger for fault-injection runs."""
 
+from .availability import ClientLedger, ErrorLedger
 from .cost import cost_savings, makespan_savings
 from .latency import LatencySummary, percentile, summarize_latencies
 from .throughput import completed_in_window, throughput
 from .utilization import UtilizationAverages, average_utilization, binned_trace
 
 __all__ = [
+    "ClientLedger",
+    "ErrorLedger",
     "LatencySummary",
     "summarize_latencies",
     "percentile",

@@ -1,0 +1,136 @@
+"""Availability and error accounting for fault-injection runs.
+
+The :class:`ErrorLedger` is the single sink for everything that goes
+wrong in a run: per-client error counts by CUDA error code, requests
+served vs failed, restart counts, and time-to-recover samples (from a
+client going down to its replacement serving again).  Serialization is
+deliberately canonical — sorted keys, rounded times — so two runs of
+the same seeded fault plan produce byte-identical ledgers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ClientLedger", "ErrorLedger"]
+
+# Times are rounded before storage so float noise from event ordering
+# can never leak into the serialized ledger.
+_TIME_DECIMALS = 9
+
+
+def _round(t: float) -> float:
+    return round(float(t), _TIME_DECIMALS)
+
+
+@dataclass
+class ClientLedger:
+    """One client's error/availability record."""
+
+    served: int = 0
+    failed: int = 0
+    restarts: int = 0
+    errors: Dict[str, int] = field(default_factory=dict)
+    recovery_times: List[float] = field(default_factory=list)
+    down_since: Optional[float] = None
+    downtime: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "served": self.served,
+            "failed": self.failed,
+            "restarts": self.restarts,
+            "errors": dict(sorted(self.errors.items())),
+            "recovery_times": [_round(t) for t in self.recovery_times],
+            "downtime": _round(self.downtime),
+        }
+
+
+class ErrorLedger:
+    """Run-wide error, failure, and recovery accounting."""
+
+    def __init__(self):
+        self._clients: Dict[str, ClientLedger] = {}
+        self.injections: List[dict] = []
+
+    def client(self, name: str) -> ClientLedger:
+        if name not in self._clients:
+            self._clients[name] = ClientLedger()
+        return self._clients[name]
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_error(self, name: str, code: str, time: float) -> None:
+        entry = self.client(name)
+        entry.errors[code] = entry.errors.get(code, 0) + 1
+
+    def record_served(self, name: str) -> None:
+        self.client(name).served += 1
+
+    def record_failed(self, name: str) -> None:
+        self.client(name).failed += 1
+
+    def record_down(self, name: str, time: float) -> None:
+        entry = self.client(name)
+        if entry.down_since is None:
+            entry.down_since = _round(time)
+
+    def record_recovered(self, name: str, time: float) -> None:
+        """The client (or its replacement) is serving again."""
+        entry = self.client(name)
+        entry.restarts += 1
+        if entry.down_since is not None:
+            delta = _round(time) - entry.down_since
+            entry.recovery_times.append(_round(delta))
+            entry.downtime = _round(entry.downtime + delta)
+            entry.down_since = None
+
+    def record_injection(self, entry: dict) -> None:
+        self.injections.append(dict(entry))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_errors(self) -> int:
+        return sum(sum(c.errors.values()) for c in self._clients.values())
+
+    def availability(self, name: str, horizon: float,
+                     now: Optional[float] = None) -> float:
+        """Fraction of the horizon the client was not down."""
+        if horizon <= 0:
+            return 1.0
+        entry = self.client(name)
+        down = entry.downtime
+        if entry.down_since is not None:
+            down += _round(now if now is not None else horizon) - entry.down_since
+        return max(0.0, 1.0 - down / horizon)
+
+    def to_dict(self) -> dict:
+        return {
+            "clients": {name: entry.to_dict()
+                        for name, entry in sorted(self._clients.items())},
+            "injections": self.injections,
+            "total_errors": self.total_errors(),
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization — byte-identical across identical runs."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def format_table(self) -> str:
+        header = (f"{'client':<14} {'served':>7} {'failed':>7} "
+                  f"{'restarts':>8} {'errors':>7}  error codes")
+        lines = [header, "-" * len(header)]
+        for name, entry in sorted(self._clients.items()):
+            codes = ",".join(f"{code}x{n}"
+                             for code, n in sorted(entry.errors.items()))
+            lines.append(
+                f"{name:<14} {entry.served:>7} {entry.failed:>7} "
+                f"{entry.restarts:>8} {sum(entry.errors.values()):>7}  "
+                f"{codes or '-'}"
+            )
+        return "\n".join(lines)

@@ -9,7 +9,7 @@ module turns them into the paper's metrics: time-averaged utilization
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -26,8 +26,6 @@ from repro.runtime.direct import DedicatedBackend
 from repro.runtime.host import HostThread
 from repro.sim.engine import Simulator
 from repro.sim.process import spawn
-from repro.workloads.arrivals import ClosedLoop
-from repro.workloads.clients import InferenceClient, TrainingClient
 
 from .profiles import KernelProfile, ModelProfile, ProfileStore
 

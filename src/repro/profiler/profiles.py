@@ -10,7 +10,7 @@ module defines those records and their (de)serialization.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Optional
 
@@ -108,6 +108,30 @@ class ProfileStore:
 
     def lookup(self, kernel_id: str) -> Optional[KernelProfile]:
         return self._kernels.get(kernel_id)
+
+    def drop(self, kernel_id: str) -> bool:
+        """Remove a kernel's entry (fault injection: profile loss).
+
+        Subsequent lookups miss, exercising the scheduler's
+        profile-miss fallback.  Returns True if the entry existed.
+        """
+        existed = self._kernels.pop(kernel_id, None) is not None
+        for model in self._models.values():
+            model.kernels.pop(kernel_id, None)
+        return existed
+
+    def corrupt(self, kernel_id: str, factor: float = 10.0) -> bool:
+        """Scale a kernel's profiled duration (fault injection: stale or
+        wrong profile data).  Returns True if the entry existed."""
+        profile = self._kernels.get(kernel_id)
+        if profile is None:
+            return False
+        corrupted = replace(profile, duration=profile.duration * factor)
+        self._kernels[kernel_id] = corrupted
+        for model in self._models.values():
+            if kernel_id in model.kernels:
+                model.kernels[kernel_id] = corrupted
+        return True
 
     def __len__(self) -> int:
         return len(self._kernels)

@@ -1,6 +1,6 @@
 """CUDA-runtime-like interception layer: backends, hosts, client contexts."""
 
-from .backend import Backend, ClientInfo, Op, SoftwareQueue
+from .backend import Backend, ClientInfo, Op, SoftwareQueue, UnknownClientError
 from .client import ClientContext
 from .direct import DedicatedBackend, DirectStreamBackend
 from .host import DEFAULT_LAUNCH_OVERHEAD, HostGil, HostThread
@@ -10,6 +10,7 @@ __all__ = [
     "ClientInfo",
     "Op",
     "SoftwareQueue",
+    "UnknownClientError",
     "ClientContext",
     "HostGil",
     "HostThread",

@@ -18,9 +18,23 @@ from repro.kernels.kernel import KernelOp, MemoryOp
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal
 
-__all__ = ["Backend", "ClientInfo", "SoftwareQueue", "Op"]
+__all__ = ["Backend", "ClientInfo", "SoftwareQueue", "Op", "UnknownClientError"]
 
 Op = Union[KernelOp, MemoryOp]
+
+
+class UnknownClientError(KeyError):
+    """An op or lifecycle call referenced a client id the backend does
+    not know — never registered, or already deregistered."""
+
+    def __init__(self, client_id: str, backend_name: str):
+        super().__init__(client_id)
+        self.client_id = client_id
+        self.backend_name = backend_name
+
+    def __str__(self) -> str:
+        return (f"unknown or deregistered client {self.client_id!r} "
+                f"on backend {self.backend_name!r}")
 
 
 class ClientInfo:
@@ -66,6 +80,13 @@ class SoftwareQueue:
         if not self._items:
             raise IndexError(f"pop from empty software queue {self.client_id!r}")
         return self._items.popleft()
+
+    def drain(self) -> list[tuple[Op, Signal]]:
+        """Remove and return every queued (op, signal) pair — used when
+        the owning client dies so pending signals can be errored."""
+        items = list(self._items)
+        self._items.clear()
+        return items
 
 
 class Backend(abc.ABC):
@@ -114,6 +135,26 @@ class Backend(abc.ABC):
     def interception_overhead(self) -> float:
         """Per-op host-side overhead this backend adds (seconds)."""
         return 0.0
+
+    def client_info(self, client_id: str) -> ClientInfo:
+        """Registration record for ``client_id``; raises
+        :class:`UnknownClientError` for unregistered/deregistered ids."""
+        try:
+            return self.clients[client_id]
+        except KeyError:
+            raise UnknownClientError(client_id, self.name) from None
+
+    def deregister_client(self, client_id: str) -> None:
+        """Remove a (dead) client: its software queue is drained with
+        pending signals errored, its stream destroyed, and its device
+        allocations freed.  Idempotence is NOT provided — a second call
+        raises :class:`UnknownClientError`."""
+        info = self.client_info(client_id)
+        self._deregister_cleanup(info)
+        del self.clients[client_id]
+
+    def _deregister_cleanup(self, info: ClientInfo) -> None:
+        """Backend-specific teardown hook for :meth:`deregister_client`."""
 
     def _register(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
         if client_id in self.clients:

@@ -41,10 +41,17 @@ class DirectStreamBackend(Backend):
         return info
 
     def submit(self, client_id: str, op: Op) -> Signal:
+        self.client_info(client_id)
         return self._streams[client_id].submit(op)
 
     def devices(self) -> List[GpuDevice]:
         return [self.device]
+
+    def _deregister_cleanup(self, info: ClientInfo) -> None:
+        stream = self._streams.pop(info.client_id, None)
+        if stream is not None:
+            self.device.destroy_stream(stream)
+        self.device.release_client(info.client_id)
 
 
 class DedicatedBackend(Backend):
@@ -67,6 +74,7 @@ class DedicatedBackend(Backend):
         return info
 
     def submit(self, client_id: str, op: Op) -> Signal:
+        self.client_info(client_id)
         return self._streams[client_id].submit(op)
 
     def devices(self) -> List[GpuDevice]:
@@ -74,3 +82,10 @@ class DedicatedBackend(Backend):
 
     def device_for(self, client_id: str) -> GpuDevice:
         return self._devices[client_id]
+
+    def _deregister_cleanup(self, info: ClientInfo) -> None:
+        stream = self._streams.pop(info.client_id, None)
+        device = self._devices.pop(info.client_id, None)
+        if device is not None and stream is not None:
+            device.destroy_stream(stream)
+            device.release_client(info.client_id)

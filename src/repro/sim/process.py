@@ -32,12 +32,24 @@ class Interrupted(Exception):
 
 
 class _Awaitable:
-    """Base class for things a process may yield."""
+    """Base class for things a process may yield.
+
+    Completion optionally carries an ``error`` payload (CUDA-style
+    status reporting): the awaitable still *completes* — waiters resume
+    normally — but holders can inspect ``.error`` to learn the op
+    failed.  ``error`` is ``None`` on success.
+    """
 
     def __init__(self):
         self._callbacks: list = []
         self.triggered = False
         self.value: Any = None
+        self.error: Any = None
+
+    @property
+    def ok(self) -> bool:
+        """True once triggered without an error payload."""
+        return self.triggered and self.error is None
 
     def add_callback(self, callback) -> None:
         if self.triggered:
@@ -45,11 +57,12 @@ class _Awaitable:
         else:
             self._callbacks.append(callback)
 
-    def _fire(self, value: Any = None) -> None:
+    def _fire(self, value: Any = None, error: Any = None) -> None:
         if self.triggered:
             return
         self.triggered = True
         self.value = value
+        self.error = error
         callbacks, self._callbacks = self._callbacks, []
         for callback in callbacks:
             callback(self)
@@ -75,8 +88,8 @@ class Signal(_Awaitable):
         super().__init__()
         self._sim = sim
 
-    def trigger(self, value: Any = None) -> None:
-        self._fire(value)
+    def trigger(self, value: Any = None, error: Any = None) -> None:
+        self._fire(value, error)
 
     def _start(self, sim: Simulator) -> None:
         self._sim = sim
@@ -98,7 +111,10 @@ class AllOf(_Awaitable):
         def on_child(_child):
             remaining["n"] -= 1
             if remaining["n"] == 0:
-                self._fire([c.value for c in self.children])
+                first_error = next(
+                    (c.error for c in self.children if c.error is not None), None
+                )
+                self._fire([c.value for c in self.children], first_error)
 
         for child in self.children:
             if isinstance(child, (Timeout, AllOf, AnyOf)):
@@ -117,7 +133,7 @@ class AnyOf(_Awaitable):
 
     def _start(self, sim: Simulator) -> None:
         def on_child(child):
-            self._fire(child.value)
+            self._fire(child.value, child.error)
 
         for child in self.children:
             if isinstance(child, (Timeout, AllOf, AnyOf)):

@@ -45,6 +45,16 @@ class FifoLock:
         self._waiters = deque(sorted(self._waiters, key=lambda w: (-w[0], w[1])))
         return granted
 
+    def cancel(self, granted: Signal) -> bool:
+        """Withdraw a not-yet-granted acquire (the waiter died).  Returns
+        True if the waiter was found and removed; a grant that already
+        fired cannot be cancelled — release the lock instead."""
+        for waiter in self._waiters:
+            if waiter[2] is granted:
+                self._waiters.remove(waiter)
+                return True
+        return False
+
     def release(self) -> None:
         if not self._held:
             raise RuntimeError("release of a lock that is not held")

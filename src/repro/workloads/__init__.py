@@ -9,7 +9,14 @@ from .arrivals import (
     UniformArrivals,
     make_arrivals,
 )
-from .clients import ClientStats, InferenceClient, RequestRecord, TrainingClient
+from .clients import (
+    ClientStats,
+    InferenceClient,
+    RequestRecord,
+    RestartingInferenceClient,
+    RestartingTrainingClient,
+    TrainingClient,
+)
 from .models import MODEL_NAMES, NLP_MODELS, VISION_MODELS, batch_size_for, get_plan
 from .rates import TABLE3_RPS, rps_for
 
@@ -24,6 +31,8 @@ __all__ = [
     "make_arrivals",
     "InferenceClient",
     "TrainingClient",
+    "RestartingInferenceClient",
+    "RestartingTrainingClient",
     "ClientStats",
     "RequestRecord",
     "get_plan",

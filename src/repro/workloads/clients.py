@@ -9,25 +9,47 @@ iterations in a closed loop, emitting forward/backward/update phase
 markers that the Tick-Tock baseline gates on.
 
 Both clients allocate their GPU state with ``cudaMalloc`` before
-serving, mirroring framework startup.
+serving, mirroring framework startup; allocation failures (a non-sticky
+``OUT_OF_MEMORY`` status) are retried with bounded exponential backoff
+rather than tearing the run down.  A sticky error (faulting kernel,
+failed transfer, kill) poisons the context: the plain clients stop, the
+``Restarting*`` variants run under a supervisor that rebuilds the
+context and resumes serving after exponential backoff — the
+fault-tolerance loop a production serving stack would run.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional
 
 from repro.frameworks.lowering import OpPlan, instantiate_plan
+from repro.gpu.errors import CudaError, CudaErrorCode
 from repro.gpu.specs import DeviceSpec
 from repro.kernels.kernel import KernelOp
 from repro.runtime.client import ClientContext
 from repro.sim.engine import Simulator
-from repro.sim.process import Process, Signal, spawn
+from repro.sim.process import Interrupted, Process, Signal, Timeout, spawn
 
 from .arrivals import ArrivalProcess, ClosedLoop
 
-__all__ = ["RequestRecord", "InferenceClient", "TrainingClient", "ClientStats"]
+if TYPE_CHECKING:  # avoids the metrics -> clients import cycle
+    from repro.metrics.availability import ErrorLedger
+
+__all__ = [
+    "RequestRecord",
+    "InferenceClient",
+    "TrainingClient",
+    "RestartingInferenceClient",
+    "RestartingTrainingClient",
+    "ClientStats",
+]
+
+# Bounded retry/backoff for startup allocation OOM.
+_OOM_RETRIES = 5
+_OOM_BACKOFF = 5e-4
+_OOM_BACKOFF_CAP = 5e-2
 
 
 @dataclass(frozen=True)
@@ -55,6 +77,8 @@ class ClientStats:
     kind: str
     records: List[RequestRecord] = field(default_factory=list)
     dropped: int = 0
+    failed: int = 0
+    restarts: int = 0
 
     def completed(self, after: float = 0.0) -> List[RequestRecord]:
         return [r for r in self.records if r.arrival >= after]
@@ -62,18 +86,72 @@ class ClientStats:
 
 class _BaseClient:
     def __init__(self, sim: Simulator, ctx: ClientContext, plan: OpPlan,
-                 device_spec: DeviceSpec, name: str):
+                 device_spec: DeviceSpec, name: str,
+                 ledger: Optional[ErrorLedger] = None):
         self.sim = sim
         self.ctx = ctx
         self.plan = plan
         self.device_spec = device_spec
         self.name = name
         self.stats = ClientStats(name=name, kind=plan.kind)
+        self.ledger = ledger
         self._process: Optional[Process] = None
+        self._serve: Optional[Process] = None
+        self._errors_seen = 0
+
+    def kill(self, error: Optional[CudaError] = None) -> None:
+        """Simulated process death: the serve loop is interrupted and the
+        context closed (deregistering from the backend)."""
+        target = self._serve or self._process
+        if target is not None and target.alive:
+            target.interrupt("killed")
+        if self.ctx.in_request:
+            self._record_failed()
+        if self.ledger is not None:
+            self.ledger.record_down(self.name, self.sim.now)
+        self.ctx.close(error)
+        self._flush_errors()
+
+    @property
+    def alive(self) -> bool:
+        proc = self._process
+        return proc is not None and proc.alive
+
+    def _flush_errors(self) -> None:
+        """Forward errors the context observed since the last flush."""
+        new = self.ctx.errors[self._errors_seen:]
+        self._errors_seen = len(self.ctx.errors)
+        if self.ledger is not None:
+            for error in new:
+                self.ledger.record_error(self.name, error.code.value,
+                                         self.sim.now)
+
+    def _record_served(self) -> None:
+        if self.ledger is not None:
+            self.ledger.record_served(self.name)
+
+    def _record_failed(self) -> None:
+        self.stats.failed += 1
+        if self.ledger is not None:
+            self.ledger.record_failed(self.name)
 
     def _startup(self):
-        """Allocate resident model state (weights, workspace)."""
-        yield from self.ctx.malloc(self.plan.state_bytes)
+        """Allocate resident model state (weights, workspace).
+
+        OOM is retried with bounded exponential backoff; returns True
+        once the allocation succeeds, False when retries are exhausted
+        or a different error lands.
+        """
+        for attempt in range(_OOM_RETRIES + 1):
+            done = yield from self.ctx.malloc(self.plan.state_bytes)
+            self._flush_errors()
+            if done.error is None:
+                return True
+            if (done.error.code is not CudaErrorCode.OUT_OF_MEMORY
+                    or attempt >= _OOM_RETRIES):
+                return False
+            yield Timeout(min(_OOM_BACKOFF_CAP, _OOM_BACKOFF * 2 ** attempt))
+        return False
 
     def _run_ops(self, ops):
         """Launch one request's ops with CUDA blocking semantics."""
@@ -85,14 +163,18 @@ class _BaseClient:
                 yield from self.ctx.memcpy(op.nbytes, op.kind, blocking=op.blocking)
         yield from self.ctx.synchronize()
 
+    def _healthy(self) -> bool:
+        return not (self.ctx.closed or self.ctx.poisoned)
+
 
 class InferenceClient(_BaseClient):
     """Serves inference requests from an arrival process, FIFO."""
 
     def __init__(self, sim: Simulator, ctx: ClientContext, plan: OpPlan,
                  device_spec: DeviceSpec, arrivals: ArrivalProcess,
-                 name: str, horizon: float):
-        super().__init__(sim, ctx, plan, device_spec, name)
+                 name: str, horizon: float,
+                 ledger: Optional[ErrorLedger] = None):
+        super().__init__(sim, ctx, plan, device_spec, name, ledger=ledger)
         self.arrivals = arrivals
         self.horizon = horizon
         self._pending: Deque[float] = deque()
@@ -104,8 +186,6 @@ class InferenceClient(_BaseClient):
         self._process = spawn(self.sim, self._serve_loop(), f"{self.name}-serve")
 
     def _arrival_loop(self):
-        from repro.sim.process import Timeout
-
         last = 0.0
         for t in self.arrivals.arrival_times(self.horizon):
             if t > last:
@@ -116,9 +196,10 @@ class InferenceClient(_BaseClient):
                 self._work.trigger()
 
     def _serve_loop(self):
-        from repro.sim.process import Timeout
-
-        yield from self._startup()
+        ok = yield from self._startup()
+        if not ok:
+            self._record_failed()
+            return
         closed = isinstance(self.arrivals, ClosedLoop)
         while True:
             if closed:
@@ -134,7 +215,14 @@ class InferenceClient(_BaseClient):
                                    client_id=self.ctx.client_id)
             yield from self._run_ops(ops)
             self.ctx.end_request()
+            self._flush_errors()
+            if not self._healthy():
+                # Sticky error mid-request: the request failed; the
+                # plain client stops here (Restarting* recovers).
+                self._record_failed()
+                return
             self.stats.records.append(RequestRecord(arrival, start, self.sim.now))
+            self._record_served()
             if closed and self.sim.now >= self.horizon:
                 return
             # Tiny host-side gap between requests in closed loop.
@@ -146,10 +234,11 @@ class TrainingClient(_BaseClient):
     """Runs training iterations in a closed loop with phase markers."""
 
     def __init__(self, sim: Simulator, ctx: ClientContext, plan: OpPlan,
-                 device_spec: DeviceSpec, name: str, horizon: float):
+                 device_spec: DeviceSpec, name: str, horizon: float,
+                 ledger: Optional[ErrorLedger] = None):
         if plan.kind != "training":
             raise ValueError(f"TrainingClient needs a training plan, got {plan.kind}")
-        super().__init__(sim, ctx, plan, device_spec, name)
+        super().__init__(sim, ctx, plan, device_spec, name, ledger=ledger)
         self.horizon = horizon
 
     def start(self) -> None:
@@ -168,7 +257,10 @@ class TrainingClient(_BaseClient):
         return phases
 
     def _train_loop(self):
-        yield from self._startup()
+        ok = yield from self._startup()
+        if not ok:
+            self._record_failed()
+            return
         while self.sim.now < self.horizon:
             yield from self.ctx.begin_request()
             start = self.sim.now
@@ -184,10 +276,130 @@ class TrainingClient(_BaseClient):
                 yield from self._launch(op)
             yield from self.ctx.synchronize()
             self.ctx.end_request()
+            self._flush_errors()
+            if not self._healthy():
+                self._record_failed()
+                return
             self.stats.records.append(RequestRecord(start, start, self.sim.now))
+            self._record_served()
 
     def _launch(self, op):
         if isinstance(op, KernelOp):
             yield from self.ctx.launch_kernel(op)
         else:
             yield from self.ctx.memcpy(op.nbytes, op.kind, blocking=op.blocking)
+
+
+class _RestartSupervisor:
+    """Mixin: run the serve loop under a supervisor that restarts it.
+
+    On a crash (sticky error or kill) the supervisor waits an
+    exponentially growing backoff, rebuilds the client context via
+    ``ctx_factory`` (a fresh registration — under Orion a dead
+    high-priority client's successor re-acquires the vacated priority
+    stream), and resumes serving.  Restarts are bounded.
+    """
+
+    max_restarts: int = 8
+    backoff_base: float = 1e-3
+    backoff_factor: float = 2.0
+    backoff_cap: float = 5e-2
+
+    def _configure_restarts(self, ctx_factory: Optional[Callable[[], ClientContext]],
+                            max_restarts: int) -> None:
+        self._ctx_factory = ctx_factory
+        self.max_restarts = max_restarts
+        self._halted = False
+
+    def start(self) -> None:
+        self._start_aux()
+        self._process = spawn(self.sim, self._supervise(),
+                              f"{self.name}-supervisor")
+
+    def _start_aux(self) -> None:
+        """Hook for auxiliary processes (arrival loops)."""
+
+    def kill(self, error: Optional[CudaError] = None) -> None:
+        _BaseClient.kill(self, error)
+
+    def halt(self) -> None:
+        """Permanent kill: the supervisor will not restart."""
+        self._halted = True
+        self.kill()
+
+    def _supervise(self):
+        attempt = 0
+        while True:
+            self._serve = spawn(self.sim, self._serve_body(),
+                                f"{self.name}-serve-{attempt}")
+            yield self._serve
+            self._flush_errors()
+            if self._halted or self.sim.now >= self.horizon:
+                return
+            if self._healthy():
+                return  # clean completion
+            if attempt >= self.max_restarts:
+                return
+            delay = min(self.backoff_cap,
+                        self.backoff_base * self.backoff_factor ** attempt)
+            attempt += 1
+            try:
+                yield Timeout(delay)
+            except Interrupted:
+                return
+            if self._halted or self.sim.now >= self.horizon:
+                return
+            self._rebuild_context()
+            self.stats.restarts += 1
+            if self.ledger is not None:
+                self.ledger.record_recovered(self.name, self.sim.now)
+
+    def _rebuild_context(self) -> None:
+        if self.ctx.closed:
+            if self._ctx_factory is None:
+                raise RuntimeError(
+                    f"client {self.name}: context closed and no ctx_factory "
+                    "to rebuild it"
+                )
+            self.ctx = self._ctx_factory()
+            self._errors_seen = 0
+        else:
+            # Poisoned but never deregistered: cudaDeviceReset analog.
+            self.ctx.reset()
+
+
+class RestartingInferenceClient(_RestartSupervisor, InferenceClient):
+    """Inference client that restarts after crashes with backoff."""
+
+    def __init__(self, sim: Simulator, ctx: ClientContext, plan: OpPlan,
+                 device_spec: DeviceSpec, arrivals: ArrivalProcess,
+                 name: str, horizon: float,
+                 ctx_factory: Optional[Callable[[], ClientContext]] = None,
+                 max_restarts: int = 8,
+                 ledger: Optional[ErrorLedger] = None):
+        InferenceClient.__init__(self, sim, ctx, plan, device_spec, arrivals,
+                                 name, horizon, ledger=ledger)
+        self._configure_restarts(ctx_factory, max_restarts)
+
+    def _start_aux(self) -> None:
+        if not isinstance(self.arrivals, ClosedLoop):
+            spawn(self.sim, self._arrival_loop(), f"{self.name}-arrivals")
+
+    def _serve_body(self):
+        yield from self._serve_loop()
+
+
+class RestartingTrainingClient(_RestartSupervisor, TrainingClient):
+    """Training client that restarts after crashes with backoff."""
+
+    def __init__(self, sim: Simulator, ctx: ClientContext, plan: OpPlan,
+                 device_spec: DeviceSpec, name: str, horizon: float,
+                 ctx_factory: Optional[Callable[[], ClientContext]] = None,
+                 max_restarts: int = 8,
+                 ledger: Optional[ErrorLedger] = None):
+        TrainingClient.__init__(self, sim, ctx, plan, device_spec, name,
+                                horizon, ledger=ledger)
+        self._configure_restarts(ctx_factory, max_restarts)
+
+    def _serve_body(self):
+        yield from self._train_loop()

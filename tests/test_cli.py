@@ -45,6 +45,24 @@ def test_train_train_cli_with_sm_threshold(capsys):
     assert "BE" in capsys.readouterr().out
 
 
+def test_faults_cli_runs(capsys):
+    rc = main(["faults", "--duration", "0.06", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fault plan" in out
+    assert "kill client 'be-0'" in out
+    assert "restarts" in out
+
+
+def test_faults_cli_json_ledger(capsys):
+    rc = main(["faults", "--duration", "0.06", "--seed", "1", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert "clients" in payload and "injections" in payload
+    assert payload["injections"][0]["type"] == "KillClient"
+    assert "be-0" in payload["clients"]
+
+
 def test_profile_cli(capsys, tmp_path):
     out_path = tmp_path / "prof.json"
     rc = main(["profile", "--model", "mobilenet_v2", "--kind", "inference",

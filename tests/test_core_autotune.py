@@ -6,13 +6,12 @@ from repro.core.autotune import SmThresholdTuner, TunerConfig
 from repro.core.scheduler import OrionBackend, OrionConfig
 from repro.gpu.device import GpuDevice
 from repro.gpu.specs import V100_16GB
-from repro.profiler.profiles import KernelProfile, ModelProfile, ProfileStore
+from repro.profiler.profiles import ProfileStore
 from repro.runtime.client import ClientContext
 from repro.runtime.host import HostThread
 from repro.sim.engine import Simulator
 from repro.sim.process import Timeout, spawn
 
-from helpers import compute_spec, make_kernel
 
 
 def make_backend(sim):

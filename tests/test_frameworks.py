@@ -1,6 +1,5 @@
 """Unit tests for the torchsim mini-framework: layers, modules, lowering."""
 
-import math
 
 import pytest
 

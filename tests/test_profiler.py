@@ -9,7 +9,7 @@ from repro.frameworks.module import Sequential
 from repro.gpu.specs import A100_40GB, V100_16GB
 from repro.kernels.kernel import ResourceProfile
 from repro.profiler.nsight import measure_solo_latency, profile_models, profile_plan
-from repro.profiler.profiles import KernelProfile, ModelProfile, ProfileStore
+from repro.profiler.profiles import KernelProfile, ModelProfile
 
 
 def tiny_plan(kind="inference", name="prof-tiny"):

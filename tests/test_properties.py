@@ -6,7 +6,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gpu.contention import ContentionModel, ContentionParams, profile_similarity
+from repro.gpu.contention import ContentionModel, profile_similarity
 from repro.gpu.memory import DeviceMemory, GpuOutOfMemoryError
 from repro.gpu.specs import V100_16GB
 from repro.kernels.classify import classify_kernel
