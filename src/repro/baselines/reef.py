@@ -47,12 +47,19 @@ class ReefBackend(Backend):
     name = "reef"
 
     def __init__(self, sim: Simulator, device: GpuDevice,
-                 queue_size: int = REEF_QUEUE_SIZE):
+                 queue_size: int = REEF_QUEUE_SIZE,
+                 be_queue_depth: Optional[int] = None):
         super().__init__(sim)
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
+        if be_queue_depth is not None and be_queue_depth < 1:
+            raise ValueError("be_queue_depth must be >= 1")
         self.device = device
         self.queue_size = queue_size
+        # Overload protection: bound on each BE *software* queue (in
+        # front of queue_size, which caps submitted-to-GPU kernels).
+        # Overflow rejects with the retryable QUEUE_FULL status.
+        self.be_queue_depth = be_queue_depth
         self._hp_stream = None
         self._hp_queue: Optional[SoftwareQueue] = None
         self._hp_client_id: Optional[str] = None
@@ -69,11 +76,12 @@ class ReefBackend(Backend):
             if self._hp_stream is not None:
                 raise ValueError("REEF-N supports one high-priority client")
             self._hp_stream = self.device.create_stream(priority=1, name="reef-hp")
-            self._hp_queue = SoftwareQueue(self.sim, client_id)
+            self._hp_queue = self._new_queue(client_id)
             self._hp_client_id = client_id
         else:
             stream = self.device.create_stream(priority=0, name=f"reef-be-{client_id}")
-            self._be[client_id] = _BeState(SoftwareQueue(self.sim, client_id), stream)
+            queue = self._new_queue(client_id, max_depth=self.be_queue_depth)
+            self._be[client_id] = _BeState(queue, stream)
             self._be_order.append(client_id)
         return info
 
@@ -94,7 +102,16 @@ class ReefBackend(Backend):
             self._watch(done)
             return done
         else:
-            done = self._be[client_id].queue.push(op)
+            queue = self._be[client_id].queue
+            if queue.full:
+                queue.rejected_total += 1
+                done = Signal(self.sim)
+                done.trigger(None, error=CudaError(
+                    CudaErrorCode.QUEUE_FULL,
+                    f"software queue full (depth {queue.depth}/{queue.max_depth})",
+                    client_id=client_id, time=self.sim.now))
+                return done
+            done = queue.push(op)
         self._wake_scheduler()
         return done
 

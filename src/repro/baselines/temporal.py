@@ -34,6 +34,9 @@ class TemporalBackend(Backend):
         # Outstanding (not yet granted) slice requests, for cancellation
         # when a waiting client dies.
         self._pending_grants: Dict[str, Signal] = {}
+        # Per-client slice-wait telemetry (temporal sharing has no
+        # software op queues; its "queue" is the wait for the GPU lock).
+        self._wait_stats: Dict[str, dict] = {}
 
     def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
         info = self._register(client_id, high_priority, kind)
@@ -52,9 +55,13 @@ class TemporalBackend(Backend):
             )
         return self._streams[client_id].submit(op)
 
-    def begin_request(self, client_id: str) -> Optional[Signal]:
+    def begin_request(self, client_id: str,
+                      deadline: Optional[float] = None) -> Optional[Signal]:
         info = self.client_info(client_id)
         grant = self._gpu_lock.acquire(priority=info.priority, holder=client_id)
+        stats = self._wait_stats.setdefault(
+            client_id, {"enqueued_total": 0, "max_depth_seen": 0})
+        stats["enqueued_total"] += 1
 
         def on_grant(_sig):
             self._holding = client_id
@@ -62,6 +69,7 @@ class TemporalBackend(Backend):
 
         if not grant.triggered:
             self._pending_grants[client_id] = grant
+            stats["max_depth_seen"] = max(stats["max_depth_seen"], 1)
         grant.add_callback(on_grant)
         return grant
 
@@ -85,6 +93,20 @@ class TemporalBackend(Backend):
         if stream is not None:
             self.device.destroy_stream(stream)
         self.device.release_client(client_id)
+
+    def queue_telemetry(self) -> Dict[str, dict]:
+        """Slice-wait snapshot in the uniform queue-telemetry schema:
+        ``depth`` is 1 while the client waits for its time slice."""
+        snapshot = {}
+        for client_id, stats in sorted(self._wait_stats.items()):
+            snapshot[client_id] = {
+                "depth": 1 if client_id in self._pending_grants else 0,
+                "enqueued_total": stats["enqueued_total"],
+                "max_depth_seen": stats["max_depth_seen"],
+                "rejected_total": 0,
+                "max_depth": None,
+            }
+        return snapshot
 
     def devices(self) -> List[GpuDevice]:
         return [self.device]

@@ -37,6 +37,9 @@ class TickTockBackend(Backend):
         self._streams: Dict[str, object] = {}
         self._waiting: Dict[str, Signal] = {}
         self.barriers_released = 0
+        # Per-client barrier-wait telemetry (Tick-Tock has no software
+        # op queues; its "queue" is the phase barrier).
+        self._wait_stats: Dict[str, dict] = {}
 
     def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
         if kind != "training":
@@ -60,6 +63,9 @@ class TickTockBackend(Backend):
             return None
         gate = Signal(self.sim)
         self._waiting[client_id] = gate
+        stats = self._wait_stats.setdefault(
+            client_id, {"enqueued_total": 0, "max_depth_seen": 1})
+        stats["enqueued_total"] += 1
         if len(self._waiting) == len(self.clients):
             waiting, self._waiting = self._waiting, {}
             self.barriers_released += 1
@@ -83,6 +89,20 @@ class TickTockBackend(Backend):
             self.barriers_released += 1
             for signal in waiting.values():
                 signal.trigger()
+
+    def queue_telemetry(self) -> Dict[str, dict]:
+        """Barrier-wait snapshot in the uniform queue-telemetry schema:
+        ``depth`` is 1 while the client is held at a phase barrier."""
+        snapshot = {}
+        for client_id, stats in sorted(self._wait_stats.items()):
+            snapshot[client_id] = {
+                "depth": 1 if client_id in self._waiting else 0,
+                "enqueued_total": stats["enqueued_total"],
+                "max_depth_seen": stats["max_depth_seen"],
+                "rejected_total": 0,
+                "max_depth": None,
+            }
+        return snapshot
 
     def devices(self) -> List[GpuDevice]:
         return [self.device]

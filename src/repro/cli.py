@@ -91,6 +91,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the canonical ledger JSON instead of a table")
 
+    p = sub.add_parser("overload",
+                       help="overload-protection demo: drive the service "
+                            "past capacity, print latency/shed/guard stats")
+    p.add_argument("--model", default="mobilenet_v2", choices=MODEL_NAMES)
+    p.add_argument("--duration", type=float, default=0.8,
+                   help="simulated seconds (default 0.8)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--device", default="V100-16GB", choices=sorted(DEVICES))
+    p.add_argument("--be-clients", type=int, default=2,
+                   help="number of best-effort inference clients")
+    p.add_argument("--hp-load", type=float, default=0.3,
+                   help="high-priority offered load as a fraction of solo "
+                        "capacity (default 0.3)")
+    p.add_argument("--be-load", type=float, default=2.0,
+                   help="total best-effort offered load as a fraction of "
+                        "solo capacity (default 2.0 — overload)")
+    p.add_argument("--arrivals", default="poisson",
+                   choices=("poisson", "burst", "ramp"),
+                   help="high-priority arrival process")
+    p.add_argument("--deadline-mult", type=float, default=20.0,
+                   help="best-effort request deadline as a multiple of the "
+                        "solo latency (0 disables shedding)")
+    p.add_argument("--slo-mult", type=float, default=1.2,
+                   help="HP latency SLO as a multiple of the solo latency")
+    p.add_argument("--no-guard", action="store_true",
+                   help="disable the adaptive SLO guard")
+    p.add_argument("--queue-depth", type=int, default=32,
+                   help="bound on each best-effort software queue "
+                        "(0 = unbounded)")
+    p.add_argument("--policy", default="block", choices=("block", "reject"),
+                   help="full-queue policy: backpressure or load shedding")
+    p.add_argument("--json", action="store_true",
+                   help="emit JSON (including the canonical ledger)")
+
     p = sub.add_parser("profile", help="offline-profile one workload (§5.2)")
     p.add_argument("--model", required=True, choices=MODEL_NAMES)
     p.add_argument("--kind", default="inference",
@@ -186,6 +220,60 @@ def _run_faults(args) -> None:
         print(f"scheduler: {result.backend_stats}")
 
 
+def _run_overload(args) -> None:
+    from repro.experiments.overload import run_overload_scenario
+
+    result = run_overload_scenario(
+        seed=args.seed, duration=args.duration, model=args.model,
+        device=args.device, be_clients=args.be_clients,
+        hp_load=args.hp_load, be_load=args.be_load, arrivals=args.arrivals,
+        deadline_mult=args.deadline_mult or None, slo_mult=args.slo_mult,
+        guard=not args.no_guard, queue_depth=args.queue_depth or None,
+        policy=args.policy,
+    )
+    if args.json:
+        payload = {
+            "capacity_rps": result.capacity,
+            "solo_latency_ms": result.solo_latency * 1e3,
+            "slo_ms": None if result.slo is None else result.slo * 1e3,
+            "hp_p50_ms": result.hp_latency.p50 * 1e3,
+            "hp_p99_ms": result.hp_latency.p99 * 1e3,
+            "hp_requests": result.hp_latency.count,
+            "be_goodput_rps": result.be_goodput(args.duration),
+            "total_shed": result.total_shed(),
+            "backend_stats": result.backend_stats,
+            "queue_telemetry": result.queue_telemetry,
+            "guard_summary": result.guard_summary,
+            "guard_actions": result.guard_actions,
+            "ledger": json.loads(result.ledger.to_json()),
+        }
+        print(json.dumps(payload, indent=1, default=float))
+        return
+    offered = (args.hp_load + args.be_load) * result.capacity
+    print(f"capacity: {result.capacity:.1f} req/s   "
+          f"offered: {offered:.1f} req/s "
+          f"({args.hp_load + args.be_load:.1f}x)   "
+          f"solo latency: {result.solo_latency*1e3:.2f} ms")
+    if result.slo is not None:
+        print(f"SLO: {result.slo*1e3:.2f} ms (guard on)")
+    else:
+        print("guard: off")
+    if result.hp_latency.count:
+        print(f"hp latency: p50 {result.hp_latency.p50*1e3:.2f} ms   "
+              f"p99 {result.hp_latency.p99*1e3:.2f} ms   "
+              f"({result.hp_latency.count} requests)")
+    print(f"be goodput: {result.be_goodput(args.duration):.1f} req/s   "
+          f"shed: {result.total_shed()}")
+    print(f"scheduler: {result.backend_stats}")
+    if result.guard_summary is not None:
+        print(f"guard: {result.guard_summary}")
+    print("\nqueues:")
+    for name, snap in result.queue_telemetry.items():
+        print(f"  {name}: {snap}")
+    print()
+    print(result.ledger.format_table())
+
+
 def _run_profile(args) -> None:
     profile = get_profile(args.model, args.kind, get_device(args.device))
     if args.out:
@@ -210,6 +298,9 @@ def main(argv=None) -> int:
         return 0
     if args.command == "faults":
         _run_faults(args)
+        return 0
+    if args.command == "overload":
+        _run_overload(args)
         return 0
     result = run_experiment(_experiment_config(args))
     _print_experiment(result, args.json)

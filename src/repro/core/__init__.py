@@ -8,11 +8,20 @@ from .policy import (
     have_different_profiles,
     schedule_be,
 )
-from .scheduler import ORION_INTERCEPTION_OVERHEAD, OrionBackend, OrionConfig
+from .scheduler import (
+    ORION_INTERCEPTION_OVERHEAD,
+    OVERLOAD_POLICIES,
+    OrionBackend,
+    OrionConfig,
+)
+from .sloguard import SloGuard, SloGuardConfig
 
 __all__ = [
     "OrionBackend",
     "OrionConfig",
+    "OVERLOAD_POLICIES",
+    "SloGuard",
+    "SloGuardConfig",
     "ORION_INTERCEPTION_OVERHEAD",
     "PolicyConfig",
     "schedule_be",

@@ -21,7 +21,8 @@ profiling phase (§5.2), not simulator ground truth.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 from repro.gpu.cuda_events import CudaEvent
 from repro.gpu.device import GpuDevice
@@ -40,12 +41,16 @@ from repro.sim.process import Signal, Timeout, spawn
 
 from .policy import PolicyConfig, duration_throttled, schedule_be
 
-__all__ = ["OrionBackend", "OrionConfig"]
+__all__ = ["OrionBackend", "OrionConfig", "OVERLOAD_POLICIES"]
 
-# HP request latency assumed before the first profile/measurement lands.
+# HP request latency assumed before the first profile/measurement lands
+# (OrionConfig.fallback_hp_latency overrides; kept as the default).
 _FALLBACK_HP_LATENCY = 10e-3
 # Per-op interception cost of Orion's wrappers (<1% overhead, §6.5).
 ORION_INTERCEPTION_OVERHEAD = 0.4e-6
+
+#: Valid per-client bounded-queue policies (DESIGN.md §6.2).
+OVERLOAD_POLICIES = ("block", "reject")
 
 
 class OrionConfig(PolicyConfig):
@@ -60,33 +65,64 @@ class OrionConfig(PolicyConfig):
     best-effort kernel whose completion is overdue by that multiple of
     its profiled duration; flags are surfaced in backend telemetry.
     ``watchdog_interval`` is the watchdog's polling period in seconds.
+
+    Overload protection (DESIGN.md §6.2): ``be_queue_depth`` bounds
+    each best-effort software queue (None = unbounded, the paper's
+    behaviour); when a queue is full, ``overload_policy`` decides
+    whether ``submit`` blocks the client until the queue drains to
+    ``be_queue_high_water`` ("block", the default) or rejects the op
+    with a retryable ``QUEUE_FULL`` status ("reject") — overridable per
+    client via :meth:`OrionBackend.set_overload_policy`.
+    ``fallback_hp_latency`` is the HP request latency assumed before
+    any profile or measurement lands.  ``hp_window`` sizes the rolling
+    window of observed HP request latencies the SLO guard watches.
     """
 
     def __init__(self, hp_request_latency: Optional[float] = None,
                  manage_pcie: bool = False,
                  watchdog_multiple: Optional[float] = None,
-                 watchdog_interval: float = 1e-3, **kwargs):
+                 watchdog_interval: float = 1e-3,
+                 fallback_hp_latency: float = _FALLBACK_HP_LATENCY,
+                 be_queue_depth: Optional[int] = None,
+                 be_queue_high_water: Optional[int] = None,
+                 overload_policy: str = "block",
+                 hp_window: int = 128, **kwargs):
         super().__init__(**kwargs)
         if watchdog_multiple is not None and watchdog_multiple <= 0:
             raise ValueError("watchdog_multiple must be positive")
         if watchdog_interval <= 0:
             raise ValueError("watchdog_interval must be positive")
+        if fallback_hp_latency <= 0:
+            raise ValueError("fallback_hp_latency must be positive")
+        if be_queue_depth is not None and be_queue_depth < 1:
+            raise ValueError("be_queue_depth must be >= 1")
+        if overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(f"overload_policy must be one of "
+                             f"{OVERLOAD_POLICIES}, got {overload_policy!r}")
+        if hp_window < 1:
+            raise ValueError("hp_window must be >= 1")
         self.hp_request_latency = hp_request_latency
         self.manage_pcie = manage_pcie
         self.watchdog_multiple = watchdog_multiple
         self.watchdog_interval = watchdog_interval
+        self.fallback_hp_latency = fallback_hp_latency
+        self.be_queue_depth = be_queue_depth
+        self.be_queue_high_water = be_queue_high_water
+        self.overload_policy = overload_policy
+        self.hp_window = hp_window
 
 
 class _BeClientState:
     """Per-best-effort-client scheduling state."""
 
-    __slots__ = ("queue", "stream", "event", "outstanding")
+    __slots__ = ("queue", "stream", "event", "outstanding", "policy")
 
-    def __init__(self, queue: SoftwareQueue, stream):
+    def __init__(self, queue: SoftwareQueue, stream, policy: str = "block"):
         self.queue = queue
         self.stream = stream
         self.event = CudaEvent()
         self.outstanding = 0.0  # expected seconds of submitted-unfinished work
+        self.policy = policy    # bounded-queue overflow policy
 
 
 class OrionBackend(Backend):
@@ -118,11 +154,21 @@ class OrionBackend(Backend):
         # latency was supplied).
         self._hp_latency_ewma: Optional[float] = None
         self._hp_request_started_at: Optional[float] = None
+        self._hp_request_deadline: Optional[float] = None
+        # Rolling window of observed HP request latencies, watched by
+        # the adaptive SLO guard (repro.core.sloguard).
+        self.hp_latency_window: Deque[float] = deque(
+            maxlen=self.config.hp_window)
+        # Overload state: while suspended, no best-effort kernel is
+        # admitted at all (the SLO guard's emergency brake).
+        self.be_admission_suspended = False
+        self.be_suspensions = 0
         # Counters for tests/telemetry.
         self.be_kernels_launched = 0
         self.be_kernels_deferred = 0
         self.profile_misses = 0
         self.hp_requests_completed = 0
+        self.hp_deadline_misses = 0
         self.clients_deregistered = 0
         self._hp_transfers_active = 0
         # Watchdog state: flagged overdue BE kernels (op seq -> record).
@@ -141,14 +187,28 @@ class OrionBackend(Backend):
             priority = 1 if self.config.use_stream_priorities else 0
             self._hp_stream = self.device.create_stream(priority=priority,
                                                         name="orion-hp")
-            self._hp_queue = SoftwareQueue(self.sim, client_id)
+            # The HP queue is never bounded: overload protection sheds
+            # best-effort work, not the latency-critical job's.
+            self._hp_queue = self._new_queue(client_id)
             self._hp_client_id = client_id
         else:
             stream = self.device.create_stream(priority=0, name=f"orion-be-{client_id}")
-            state = _BeClientState(SoftwareQueue(self.sim, client_id), stream)
+            queue = self._new_queue(client_id,
+                                    max_depth=self.config.be_queue_depth,
+                                    high_water=self.config.be_queue_high_water)
+            state = _BeClientState(queue, stream,
+                                   policy=self.config.overload_policy)
             self._be[client_id] = state
             self._be_order.append(client_id)
         return info
+
+    def set_overload_policy(self, client_id: str, policy: str) -> None:
+        """Override the bounded-queue overflow policy for one
+        best-effort client ("block" or "reject")."""
+        if policy not in OVERLOAD_POLICIES:
+            raise ValueError(f"policy must be one of {OVERLOAD_POLICIES}, "
+                             f"got {policy!r}")
+        self._be_state(client_id).policy = policy
 
     def devices(self) -> List[GpuDevice]:
         return [self.device]
@@ -171,7 +231,10 @@ class OrionBackend(Backend):
             # for high-priority copies (§5.1.3 extension).
             if (self.config.manage_pcie and not info.high_priority
                     and op.kind.is_transfer):
-                done = self._be_state(client_id).queue.push(op)
+                state = self._be_state(client_id)
+                if state.queue.full and state.policy == "reject":
+                    return self._reject_overload(state.queue, client_id)
+                done = state.queue.push(op)
                 self._wake_scheduler()
                 return done
             # Otherwise memory ops bypass the kernel policy.  Their
@@ -187,13 +250,41 @@ class OrionBackend(Backend):
         if info.high_priority:
             done = self._hp_queue.push(op)
         else:
-            done = self._be_state(client_id).queue.push(op)
+            state = self._be_state(client_id)
+            if state.queue.full and state.policy == "reject":
+                return self._reject_overload(state.queue, client_id)
+            done = state.queue.push(op)
         self._wake_scheduler()
         return done
 
-    def begin_request(self, client_id: str) -> Optional[Signal]:
+    def _reject_overload(self, queue: SoftwareQueue, client_id: str) -> Signal:
+        """Load shedding at the queue: complete immediately with the
+        retryable ``QUEUE_FULL`` status instead of enqueueing."""
+        queue.rejected_total += 1
+        done = Signal(self.sim)
+        done.trigger(None, error=CudaError(
+            CudaErrorCode.QUEUE_FULL,
+            f"software queue full (depth {queue.depth}/{queue.max_depth})",
+            client_id=client_id, time=self.sim.now))
+        return done
+
+    def admission_gate(self, client_id: str) -> Optional[Signal]:
+        """Backpressure: block a best-effort client whose bounded queue
+        is full (policy "block") until it drains to the high-water
+        mark.  High-priority clients are never blocked."""
+        info = self.client_info(client_id)
+        if info.high_priority:
+            return None
+        state = self._be.get(client_id)
+        if state is None or state.policy != "block" or not state.queue.full:
+            return None
+        return state.queue.wait_for_room()
+
+    def begin_request(self, client_id: str,
+                      deadline: Optional[float] = None) -> Optional[Signal]:
         if client_id == self._hp_client_id:
             self._hp_request_started_at = self.sim.now
+            self._hp_request_deadline = deadline
         return None
 
     def _deregister_cleanup(self, info: ClientInfo) -> None:
@@ -217,9 +308,11 @@ class OrionBackend(Backend):
             self._hp_client_id = None
             self._current_hp = None
             self._hp_request_started_at = None
+            self._hp_request_deadline = None
             # A successor HP client is a different workload: its latency
             # estimate must be re-learned, not inherited from the dead one.
             self._hp_latency_ewma = None
+            self.hp_latency_window.clear()
             for _op, done in hp_queue.drain():
                 done.trigger(None, error=error)
             self.device.destroy_stream(hp_stream, error=error)
@@ -242,8 +335,30 @@ class OrionBackend(Backend):
                 self._hp_latency_ewma = observed
             else:
                 self._hp_latency_ewma = 0.8 * self._hp_latency_ewma + 0.2 * observed
+            self.hp_latency_window.append(observed)
+            if (self._hp_request_deadline is not None
+                    and self.sim.now > self._hp_request_deadline):
+                self.hp_deadline_misses += 1
             self._hp_request_started_at = None
+            self._hp_request_deadline = None
             self.hp_requests_completed += 1
+
+    # ------------------------------------------------------------------
+    # Overload controls (driven by repro.core.sloguard)
+    # ------------------------------------------------------------------
+    def suspend_be_admission(self) -> None:
+        """Stop admitting best-effort kernels entirely (emergency brake
+        when the HP SLO is breached and DUR_THRESHOLD is already at its
+        floor).  Queued ops stay queued; blocked clients stay blocked."""
+        if not self.be_admission_suspended:
+            self.be_admission_suspended = True
+            self.be_suspensions += 1
+
+    def resume_be_admission(self) -> None:
+        """Re-open best-effort admission after the SLO recovers."""
+        if self.be_admission_suspended:
+            self.be_admission_suspended = False
+            self._wake_scheduler()
 
     # ------------------------------------------------------------------
     # Scheduler internals
@@ -279,7 +394,7 @@ class OrionBackend(Backend):
             return self.config.hp_request_latency
         if self._hp_latency_ewma is not None:
             return self._hp_latency_ewma
-        return _FALLBACK_HP_LATENCY
+        return self.config.fallback_hp_latency
 
     @property
     def sm_threshold(self) -> int:
@@ -398,6 +513,9 @@ class OrionBackend(Backend):
         state = self._be_state(client_id)
         op = state.queue.peek()
         if op is None:
+            return False
+        if self.be_admission_suspended:
+            self.be_kernels_deferred += 1
             return False
         if isinstance(op, MemoryOp):
             # PCIe management: hold BE transfers while an HP transfer

@@ -1,0 +1,199 @@
+"""Adaptive SLO guard: closes the control loop on Orion's DUR_THRESHOLD.
+
+The paper picks DUR_THRESHOLD once, offline (§6.4: 2.5% of the
+high-priority request latency) and shows p95/p99 are sensitive to it.
+A serving system cannot re-profile every time load shifts, so this
+module makes the threshold self-tuning at runtime: a simulated guard
+process watches a rolling window of observed high-priority request
+latencies against a configured SLO and acts on the scheduler —
+
+* **breach** (windowed p-quantile above the SLO): multiplicatively
+  tighten ``OrionConfig.dur_threshold_frac``; once the threshold is at
+  its floor and the SLO is still breached, suspend best-effort
+  admission entirely (the emergency brake);
+* **recovery** (quantile back under ``recover_margin`` x SLO for
+  ``recover_checks`` consecutive checks — hysteresis, so the guard
+  never flaps on the boundary): first resume best-effort admission,
+  then multiplicatively relax the threshold back toward its original
+  value, one step per hysteresis period.
+
+Between the breach and recovery bands the guard holds state (the dead
+band that gives the hysteresis its width).  Every action is recorded
+with rounded timestamps so guard traces serialize canonically, the same
+determinism contract the availability ledger honours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sim.process import Timeout, spawn
+
+from .scheduler import OrionBackend
+
+__all__ = ["SloGuard", "SloGuardConfig"]
+
+# Action timestamps are rounded like the availability ledger's, so two
+# identically seeded runs produce byte-identical guard traces.
+_TIME_DECIMALS = 9
+
+
+@dataclass
+class SloGuardConfig:
+    """Tunables of the adaptive SLO guard.
+
+    ``slo`` is the HP latency target in seconds for the windowed
+    ``quantile``.  ``check_interval`` paces the control loop; the
+    window itself lives on the backend (``OrionConfig.hp_window``).
+    """
+
+    slo: float
+    check_interval: float = 2e-3
+    quantile: float = 99.0
+    min_samples: int = 8
+    tighten_factor: float = 0.5
+    relax_factor: float = 2.0
+    min_dur_frac: float = 0.004
+    recover_margin: float = 0.85
+    recover_checks: int = 3
+    #: Clear the latency window after every actuation, so the next
+    #: decision measures the *new* operating point instead of acting
+    #: again on samples taken under the old one (the min_samples gate
+    #: then provides the settle time).  Without this a slow-refreshing
+    #: window makes the guard over-tighten: several actions land before
+    #: a single stale breach sample ages out.
+    reset_window_on_action: bool = True
+
+    def __post_init__(self):
+        if self.slo <= 0:
+            raise ValueError("slo must be positive")
+        if self.check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        if not 0 < self.quantile <= 100:
+            raise ValueError("quantile must be in (0, 100]")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if not 0 < self.tighten_factor < 1:
+            raise ValueError("tighten_factor must be in (0, 1)")
+        if self.relax_factor <= 1:
+            raise ValueError("relax_factor must be > 1")
+        if self.min_dur_frac <= 0:
+            raise ValueError("min_dur_frac must be positive")
+        if not 0 < self.recover_margin <= 1:
+            raise ValueError("recover_margin must be in (0, 1]")
+        if self.recover_checks < 1:
+            raise ValueError("recover_checks must be >= 1")
+
+
+class SloGuard:
+    """Feedback controller between HP latency telemetry and the
+    Orion scheduler's admission policy."""
+
+    def __init__(self, sim, backend: OrionBackend, config: SloGuardConfig):
+        self.sim = sim
+        self.backend = backend
+        self.config = config
+        # The value the threshold relaxes back toward.
+        self.baseline_dur_frac = backend.config.dur_threshold_frac
+        self.actions: List[dict] = []
+        self.breaches = 0
+        self._healthy_streak = 0
+        self._process = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SloGuard":
+        if self._process is None:
+            self._process = spawn(self.sim, self._run(), "slo-guard")
+        return self
+
+    @property
+    def suspended(self) -> bool:
+        return self.backend.be_admission_suspended
+
+    def windowed_quantile(self) -> Optional[float]:
+        """Current windowed latency quantile (None below min_samples)."""
+        window = self.backend.hp_latency_window
+        if len(window) < self.config.min_samples:
+            return None
+        return float(np.percentile(np.asarray(window, dtype=float),
+                                   self.config.quantile))
+
+    # ------------------------------------------------------------------
+    # Control loop
+    # ------------------------------------------------------------------
+    def _run(self):
+        while True:
+            yield Timeout(self.config.check_interval)
+            observed = self.windowed_quantile()
+            if observed is None:
+                continue
+            if observed > self.config.slo:
+                self.breaches += 1
+                self._healthy_streak = 0
+                self._tighten(observed)
+            elif observed <= self.config.recover_margin * self.config.slo:
+                self._healthy_streak += 1
+                if self._healthy_streak >= self.config.recover_checks:
+                    self._relax(observed)
+            else:
+                # Dead band: neither breached nor clearly recovered —
+                # hold, and require recovery to restart its streak.
+                self._healthy_streak = 0
+
+    def _tighten(self, observed: float) -> None:
+        policy = self.backend.config
+        if policy.dur_threshold_frac > self.config.min_dur_frac:
+            policy.dur_threshold_frac = max(
+                self.config.min_dur_frac,
+                policy.dur_threshold_frac * self.config.tighten_factor)
+            self._record("tighten", observed)
+        elif not self.backend.be_admission_suspended:
+            self.backend.suspend_be_admission()
+            self._record("suspend", observed)
+        # Already suspended at the floor: nothing further to withhold.
+
+    def _relax(self, observed: float) -> None:
+        policy = self.backend.config
+        if self.backend.be_admission_suspended:
+            self.backend.resume_be_admission()
+            self._record("resume", observed)
+        elif policy.dur_threshold_frac < self.baseline_dur_frac:
+            policy.dur_threshold_frac = min(
+                self.baseline_dur_frac,
+                policy.dur_threshold_frac * self.config.relax_factor)
+            self._record("relax", observed)
+        else:
+            return  # fully relaxed; keep the streak, nothing to record
+        # One relax step per hysteresis period: re-earn the streak
+        # before the next step, so recovery is gradual by construction.
+        self._healthy_streak = 0
+
+    def _record(self, action: str, observed: float) -> None:
+        if self.config.reset_window_on_action:
+            self.backend.hp_latency_window.clear()
+        self.actions.append({
+            "time": round(float(self.sim.now), _TIME_DECIMALS),
+            "action": action,
+            "observed": round(float(observed), _TIME_DECIMALS),
+            "slo": round(float(self.config.slo), _TIME_DECIMALS),
+            "dur_threshold_frac": round(
+                float(self.backend.config.dur_threshold_frac), 12),
+            "suspended": self.backend.be_admission_suspended,
+        })
+
+    def summary(self) -> dict:
+        """Telemetry snapshot for results/benchmarks."""
+        counts: dict = {}
+        for entry in self.actions:
+            counts[entry["action"]] = counts.get(entry["action"], 0) + 1
+        return {
+            "breach_checks": self.breaches,
+            "actions": counts,
+            "final_dur_threshold_frac": self.backend.config.dur_threshold_frac,
+            "suspended_at_end": self.backend.be_admission_suspended,
+        }

@@ -8,6 +8,7 @@ from .registry import (
     solo_inference_config,
     train_train_config,
 )
+from .overload import OverloadResult, run_overload_scenario
 from .runner import (
     ExperimentResult,
     JobResult,
@@ -27,6 +28,8 @@ __all__ = [
     "get_profile",
     "solo_throughput",
     "solo_latency_summary",
+    "run_overload_scenario",
+    "OverloadResult",
     "inf_train_config",
     "train_train_config",
     "inf_inf_config",

@@ -1,0 +1,201 @@
+"""Overload scenario: an inference service pushed past GPU capacity.
+
+One high-priority inference client shares the GPU with N best-effort
+inference clients under the Orion scheduler; the offered load totals a
+multiple of the device's capacity (1 / solo request latency), so
+without protection the best-effort work drowns the high-priority job.
+The scenario wires up the full overload-protection stack of
+DESIGN.md §6.2:
+
+* bounded best-effort software queues ("block" backpressure or
+  "reject" load shedding with the retryable ``QUEUE_FULL`` status);
+* per-request deadlines with shed-at-admission on every client;
+* optionally the adaptive :class:`~repro.core.sloguard.SloGuard`,
+  which tightens DUR_THRESHOLD / suspends best-effort admission when
+  the windowed HP latency quantile breaches the SLO.
+
+The Orion config deliberately starts with a *loose* DUR_THRESHOLD
+(``initial_dur_frac``), so the unguarded run demonstrates the breach
+the guard exists to fix.  Used by ``python -m repro overload``, the
+``examples/overload.py`` demo, and ``benchmarks/test_overload_guard``.
+Fully deterministic under (seed, arguments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core import OrionBackend, OrionConfig, SloGuard, SloGuardConfig
+from repro.experiments.runner import get_profile
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import get_device
+from repro.metrics.availability import ErrorLedger
+from repro.metrics.latency import LatencySummary, summarize_latencies
+from repro.profiler.profiles import ProfileStore
+from repro.runtime.client import ClientContext
+from repro.runtime.host import HostGil, HostThread
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.workloads.arrivals import make_arrivals
+from repro.workloads.clients import ClientStats, InferenceClient
+from repro.workloads.models import get_plan
+
+__all__ = ["OverloadResult", "run_overload_scenario"]
+
+
+@dataclass
+class OverloadResult:
+    """Everything one overload scenario produced."""
+
+    capacity: float              #: requests/s the GPU serves solo
+    solo_latency: float          #: dedicated-GPU request latency (s)
+    slo: Optional[float]         #: HP latency SLO handed to the guard (s)
+    hp_latency: LatencySummary
+    jobs: Dict[str, ClientStats]
+    ledger: ErrorLedger
+    backend_stats: Dict = field(default_factory=dict)
+    queue_telemetry: Dict[str, dict] = field(default_factory=dict)
+    guard_actions: List[dict] = field(default_factory=list)
+    guard_summary: Optional[dict] = None
+
+    @property
+    def hp_stats(self) -> ClientStats:
+        return self.jobs["hp"]
+
+    def be_goodput(self, duration: float, warmup: float = 0.0) -> float:
+        """Served best-effort requests per second (shed/failed excluded)."""
+        span = duration - warmup
+        if span <= 0:
+            return 0.0
+        served = sum(len(stats.completed(after=warmup))
+                     for name, stats in self.jobs.items() if name != "hp")
+        return served / span
+
+    def total_shed(self) -> int:
+        return sum(stats.shed for stats in self.jobs.values())
+
+
+def run_overload_scenario(
+    seed: int = 0,
+    duration: float = 0.4,
+    model: str = "mobilenet_v2",
+    device: str = "V100-16GB",
+    be_clients: int = 2,
+    hp_load: float = 0.3,
+    be_load: float = 2.0,
+    arrivals: str = "poisson",
+    deadline_mult: Optional[float] = 20.0,
+    slo_mult: float = 1.2,
+    guard: bool = True,
+    queue_depth: Optional[int] = 32,
+    policy: str = "block",
+    initial_dur_frac: float = 0.35,
+    warmup: float = 0.0,
+) -> OverloadResult:
+    """Run the overload scenario and return its accounting.
+
+    ``hp_load`` and ``be_load`` are offered loads as fractions of the
+    solo capacity (``be_load`` is split across the ``be_clients``
+    best-effort clients); their sum past 1.0 is overload by
+    construction.  ``arrivals`` picks the HP arrival process
+    ("poisson", "burst", or "ramp"); best-effort clients always use
+    Poisson arrivals.  ``deadline_mult`` (× solo latency, None
+    disables) arms shed-at-admission on the best-effort clients;
+    ``slo_mult`` × solo latency is the HP SLO the guard enforces when
+    ``guard`` is on.  ``queue_depth``/``policy`` bound the best-effort
+    software queues; ``initial_dur_frac`` is the (deliberately loose)
+    starting DUR_THRESHOLD fraction the guard tightens from.
+    """
+    if be_clients < 0:
+        raise ValueError("be_clients must be >= 0")
+    if hp_load <= 0:
+        raise ValueError("hp_load must be positive")
+    if be_load < 0:
+        raise ValueError("be_load must be >= 0")
+
+    sim = Simulator()
+    device_spec = get_device(device)
+    rng_factory = RngFactory(seed)
+    ledger = ErrorLedger()
+
+    profile = get_profile(model, "inference", device_spec)
+    store = ProfileStore()
+    store.add(profile)
+    solo_latency = profile.request_latency
+    capacity = 1.0 / solo_latency
+    slo = slo_mult * solo_latency
+    be_deadline = None if deadline_mult is None \
+        else deadline_mult * solo_latency
+
+    gpu = GpuDevice(sim, device_spec)
+    backend = OrionBackend(sim, gpu, store, OrionConfig(
+        hp_request_latency=solo_latency,
+        dur_threshold_frac=initial_dur_frac,
+        be_queue_depth=queue_depth,
+        overload_policy=policy,
+    ))
+
+    gil = HostGil(sim)
+
+    def make_ctx(name: str, high_priority: bool) -> ClientContext:
+        host = HostThread(sim, gil=gil,
+                          interception_overhead=backend.interception_overhead())
+        return ClientContext(backend, name, host,
+                             high_priority=high_priority, kind="inference")
+
+    plan = get_plan(model, "inference")
+    hp_rps = hp_load * capacity
+    hp_arrivals = make_arrivals(
+        arrivals, rps=hp_rps, rng=rng_factory.stream("arrivals:hp"),
+        burst_rps=3.0 * hp_rps, burst_every=duration / 4,
+        burst_duration=duration / 16,
+        end_rps=3.0 * hp_rps, ramp_duration=duration,
+    )
+    clients: List[InferenceClient] = [InferenceClient(
+        sim, make_ctx("hp", True), plan, device_spec, hp_arrivals,
+        "hp", horizon=duration, ledger=ledger,
+    )]
+    be_rps = (be_load * capacity / be_clients) if be_clients else 0.0
+    for i in range(be_clients):
+        name = f"be-{i}"
+        clients.append(InferenceClient(
+            sim, make_ctx(name, False), plan, device_spec,
+            make_arrivals("poisson", rps=be_rps,
+                          rng=rng_factory.stream(f"arrivals:{name}")),
+            name, horizon=duration, ledger=ledger, deadline=be_deadline,
+        ))
+
+    slo_guard: Optional[SloGuard] = None
+    if guard:
+        slo_guard = SloGuard(sim, backend, SloGuardConfig(
+            slo=slo, check_interval=max(4.0 * solo_latency, 1e-4),
+        )).start()
+
+    backend.start()
+    for client in clients:
+        client.start()
+    sim.run(until=duration)
+
+    jobs = {c.name: c.stats for c in clients}
+    hp_latency = summarize_latencies(jobs["hp"].records, after=warmup)
+
+    backend_stats = {
+        "be_kernels_launched": backend.be_kernels_launched,
+        "be_kernels_deferred": backend.be_kernels_deferred,
+        "hp_deadline_misses": backend.hp_deadline_misses,
+        "be_suspensions": backend.be_suspensions,
+        "dur_threshold_frac": backend.config.dur_threshold_frac,
+    }
+    return OverloadResult(
+        capacity=capacity,
+        solo_latency=solo_latency,
+        slo=slo if guard else None,
+        hp_latency=hp_latency,
+        jobs=jobs,
+        ledger=ledger,
+        backend_stats=backend_stats,
+        queue_telemetry=backend.queue_telemetry(),
+        guard_actions=list(slo_guard.actions) if slo_guard else [],
+        guard_summary=slo_guard.summary() if slo_guard else None,
+    )

@@ -214,7 +214,10 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             "sm_threshold": backend.sm_threshold,
             "clients_deregistered": backend.clients_deregistered,
             "watchdog_flags": len(backend.watchdog_flags),
+            "hp_deadline_misses": backend.hp_deadline_misses,
+            "be_suspensions": backend.be_suspensions,
         }
+        result.backend_stats["queue_telemetry"] = backend.queue_telemetry()
     return result
 
 

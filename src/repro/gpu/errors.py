@@ -37,6 +37,9 @@ class CudaErrorCode(enum.Enum):
     #: An op was rejected because the context already holds a sticky
     #: error (the status CUDA returns on every call after corruption).
     CONTEXT_POISONED = "context_poisoned"
+    #: A bounded software queue refused the op (overload protection,
+    #: DESIGN.md §6.2) — non-sticky: the client may back off and retry.
+    QUEUE_FULL = "queue_full"
 
     @property
     def sticky(self) -> bool:

@@ -31,6 +31,9 @@ class ClientLedger:
 
     served: int = 0
     failed: int = 0
+    #: Requests dropped by overload protection (deadline expired before
+    #: any GPU work was issued) — neither served nor failed.
+    shed: int = 0
     restarts: int = 0
     errors: Dict[str, int] = field(default_factory=dict)
     recovery_times: List[float] = field(default_factory=list)
@@ -41,6 +44,7 @@ class ClientLedger:
         return {
             "served": self.served,
             "failed": self.failed,
+            "shed": self.shed,
             "restarts": self.restarts,
             "errors": dict(sorted(self.errors.items())),
             "recovery_times": [_round(t) for t in self.recovery_times],
@@ -72,6 +76,9 @@ class ErrorLedger:
 
     def record_failed(self, name: str) -> None:
         self.client(name).failed += 1
+
+    def record_shed(self, name: str) -> None:
+        self.client(name).shed += 1
 
     def record_down(self, name: str, time: float) -> None:
         entry = self.client(name)
@@ -122,7 +129,7 @@ class ErrorLedger:
                           separators=(",", ":"))
 
     def format_table(self) -> str:
-        header = (f"{'client':<14} {'served':>7} {'failed':>7} "
+        header = (f"{'client':<14} {'served':>7} {'failed':>7} {'shed':>6} "
                   f"{'restarts':>8} {'errors':>7}  error codes")
         lines = [header, "-" * len(header)]
         for name, entry in sorted(self._clients.items()):
@@ -130,6 +137,7 @@ class ErrorLedger:
                              for code, n in sorted(entry.errors.items()))
             lines.append(
                 f"{name:<14} {entry.served:>7} {entry.failed:>7} "
+                f"{entry.shed:>6} "
                 f"{entry.restarts:>8} {sum(entry.errors.values()):>7}  "
                 f"{codes or '-'}"
             )

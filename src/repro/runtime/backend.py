@@ -56,21 +56,53 @@ class SoftwareQueue:
 
     The scheduler pops ops; clients receive per-op completion signals so
     blocking semantics survive the indirection.
+
+    Overload protection (DESIGN.md §6.2): ``max_depth`` bounds the
+    queue.  The queue itself never refuses a push — the owning backend
+    checks :attr:`full` and applies its per-client policy (reject with
+    ``QUEUE_FULL``, or block the client on :meth:`wait_for_room`).
+    Room waiters are released with hysteresis: only once the depth
+    drains back to ``high_water`` (default half of ``max_depth``), so a
+    blocked client does not thrash on every single pop.
     """
 
-    def __init__(self, sim: Simulator, client_id: str):
+    def __init__(self, sim: Simulator, client_id: str,
+                 max_depth: Optional[int] = None,
+                 high_water: Optional[int] = None):
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if high_water is None and max_depth is not None:
+            high_water = max(1, max_depth // 2)
+        if high_water is not None and max_depth is not None \
+                and not 0 < high_water <= max_depth:
+            raise ValueError("high_water must be in (0, max_depth]")
         self.sim = sim
         self.client_id = client_id
+        self.max_depth = max_depth
+        self.high_water = high_water
         self._items: Deque[tuple[Op, Signal]] = deque()
         self.enqueued_total = 0
+        self.max_depth_seen = 0
+        self.rejected_total = 0
+        self._room_waiters: list[Signal] = []
 
     def __len__(self) -> int:
         return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.max_depth is not None and len(self._items) >= self.max_depth
 
     def push(self, op: Op) -> Signal:
         done = Signal(self.sim)
         self._items.append((op, done))
         self.enqueued_total += 1
+        if len(self._items) > self.max_depth_seen:
+            self.max_depth_seen = len(self._items)
         return done
 
     def peek(self) -> Optional[Op]:
@@ -79,14 +111,51 @@ class SoftwareQueue:
     def pop(self) -> tuple[Op, Signal]:
         if not self._items:
             raise IndexError(f"pop from empty software queue {self.client_id!r}")
-        return self._items.popleft()
+        item = self._items.popleft()
+        self._release_room()
+        return item
 
     def drain(self) -> list[tuple[Op, Signal]]:
         """Remove and return every queued (op, signal) pair — used when
         the owning client dies so pending signals can be errored."""
         items = list(self._items)
         self._items.clear()
+        # A drained queue has room by definition; waiters re-check their
+        # context health after waking (the owner is usually dead here).
+        waiters, self._room_waiters = self._room_waiters, []
+        for waiter in waiters:
+            waiter.trigger()
         return items
+
+    def wait_for_room(self) -> Signal:
+        """Signal that fires once the queue has drained to its
+        high-water mark (immediately if it is not full)."""
+        signal = Signal(self.sim)
+        if not self.full:
+            signal.trigger()
+        else:
+            self._room_waiters.append(signal)
+        return signal
+
+    def _release_room(self) -> None:
+        if not self._room_waiters:
+            return
+        threshold = self.high_water if self.high_water is not None else 0
+        if self.max_depth is None or len(self._items) <= threshold:
+            waiters, self._room_waiters = self._room_waiters, []
+            for waiter in waiters:
+                waiter.trigger()
+
+    def snapshot(self) -> dict:
+        """Telemetry: current and high-water depth plus admit/reject
+        counters (stable keys across every backend)."""
+        return {
+            "depth": len(self._items),
+            "enqueued_total": self.enqueued_total,
+            "max_depth_seen": self.max_depth_seen,
+            "rejected_total": self.rejected_total,
+            "max_depth": self.max_depth,
+        }
 
 
 class Backend(abc.ABC):
@@ -100,6 +169,9 @@ class Backend(abc.ABC):
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.clients: Dict[str, ClientInfo] = {}
+        # Registry of software queues for uniform depth telemetry; a
+        # backend that queues ops creates queues via _new_queue.
+        self._software_queues: Dict[str, SoftwareQueue] = {}
 
     @abc.abstractmethod
     def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
@@ -115,10 +187,20 @@ class Backend(abc.ABC):
         raise NotImplementedError
 
     # --- optional hooks -------------------------------------------------
-    def begin_request(self, client_id: str) -> Optional[Signal]:
+    def begin_request(self, client_id: str,
+                      deadline: Optional[float] = None) -> Optional[Signal]:
         """Called at a request/iteration boundary.  A backend may return
         a signal the client must wait on before issuing work (temporal
-        sharing's time-slice grant); None means proceed immediately."""
+        sharing's time-slice grant); None means proceed immediately.
+        ``deadline`` is the request's absolute completion deadline in
+        simulated seconds (None when the client has no SLO)."""
+        return None
+
+    def admission_gate(self, client_id: str) -> Optional[Signal]:
+        """Backpressure hook, checked by the client before each op: a
+        returned signal stalls the client until the backend has room
+        (bounded software queue under the "block" overload policy).
+        None means submit immediately."""
         return None
 
     def end_request(self, client_id: str) -> None:
@@ -155,6 +237,26 @@ class Backend(abc.ABC):
 
     def _deregister_cleanup(self, info: ClientInfo) -> None:
         """Backend-specific teardown hook for :meth:`deregister_client`."""
+
+    def queue_telemetry(self) -> Dict[str, dict]:
+        """Per-client software-queue depth snapshot (overload telemetry).
+
+        Keys are stable across backends — ``depth``, ``enqueued_total``,
+        ``max_depth_seen``, ``rejected_total``, ``max_depth`` — so
+        overload tests can assert on queue growth uniformly.  Queues of
+        deregistered clients are retained (their final stats matter for
+        post-run accounting) until a successor re-registers the id.
+        """
+        return {client_id: queue.snapshot()
+                for client_id, queue in sorted(self._software_queues.items())}
+
+    def _new_queue(self, client_id: str, max_depth: Optional[int] = None,
+                   high_water: Optional[int] = None) -> SoftwareQueue:
+        """Create and register a software queue for ``client_id``."""
+        queue = SoftwareQueue(self.sim, client_id, max_depth=max_depth,
+                              high_water=high_water)
+        self._software_queues[client_id] = queue
+        return queue
 
     def _register(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
         if client_id in self.clients:

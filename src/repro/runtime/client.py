@@ -147,6 +147,15 @@ class ClientContext:
         """
         if self.closed or self.poisoned:
             return self._rejected()
+        gate = self.backend.admission_gate(self.client_id)
+        if gate is not None and not gate.triggered:
+            # Backpressure: the backend's bounded queue is full and this
+            # client's policy is to block until it drains (DESIGN.md
+            # §6.2).  The stall happens before the launch cost, exactly
+            # where a real runtime call would block in the interceptor.
+            yield gate
+            if self.closed or self.poisoned:
+                return self._rejected()
         yield from self.host.launch_cost()
         if self.closed or self.poisoned:
             # Poisoned while paying the launch cost (e.g. an async
@@ -213,11 +222,15 @@ class ClientContext:
         for signal in pending:
             yield signal
 
-    def begin_request(self) -> Generator:
-        """Request/iteration start; may block under temporal sharing."""
+    def begin_request(self, deadline: Optional[float] = None) -> Generator:
+        """Request/iteration start; may block under temporal sharing.
+
+        ``deadline`` (absolute simulated time, None = no SLO) is
+        forwarded to the backend so it can account deadline misses.
+        """
         if self.closed or self.poisoned:
             return
-        gate = self.backend.begin_request(self.client_id)
+        gate = self.backend.begin_request(self.client_id, deadline)
         self._in_request = True
         if gate is not None:
             yield gate

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.gpu.device import GpuDevice
+from repro.gpu.errors import CudaError, CudaErrorCode
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal
 
@@ -48,9 +49,15 @@ class DirectStreamBackend(Backend):
         return [self.device]
 
     def _deregister_cleanup(self, info: ClientInfo) -> None:
+        # Parity with the scheduling backends: queued ops of the dead
+        # client complete with a client-attributed kill, not an
+        # anonymous stream teardown.
+        error = CudaError(CudaErrorCode.CLIENT_KILLED,
+                          "client deregistered with ops pending",
+                          client_id=info.client_id, time=self.sim.now)
         stream = self._streams.pop(info.client_id, None)
         if stream is not None:
-            self.device.destroy_stream(stream)
+            self.device.destroy_stream(stream, error=error)
         self.device.release_client(info.client_id)
 
 
@@ -84,8 +91,11 @@ class DedicatedBackend(Backend):
         return self._devices[client_id]
 
     def _deregister_cleanup(self, info: ClientInfo) -> None:
+        error = CudaError(CudaErrorCode.CLIENT_KILLED,
+                          "client deregistered with ops pending",
+                          client_id=info.client_id, time=self.sim.now)
         stream = self._streams.pop(info.client_id, None)
         device = self._devices.pop(info.client_id, None)
         if device is not None and stream is not None:
-            device.destroy_stream(stream)
+            device.destroy_stream(stream, error=error)
             device.release_client(info.client_id)

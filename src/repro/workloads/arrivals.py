@@ -9,17 +9,28 @@
   and jitter (see :mod:`repro.workloads.apollo`).
 * Closed loop — the next request is issued when the previous finishes
   (training jobs, and the best-effort offline inference jobs).
+
+Overload patterns (DESIGN.md §6.2), for driving the serving stack past
+capacity on purpose:
+
+* Poisson burst — a Poisson base rate with periodic burst windows at a
+  higher rate (flash-crowd arrivals).
+* Ramp — a Poisson process whose rate climbs linearly from a start to
+  an end rate, for sweeping offered load across the capacity knee in a
+  single run.
 """
 
 from __future__ import annotations
 
 import abc
+import math
 from typing import Iterator, Optional
 
 import numpy as np
 
 __all__ = ["ArrivalProcess", "UniformArrivals", "PoissonArrivals",
-           "TraceArrivals", "ClosedLoop", "make_arrivals"]
+           "BurstArrivals", "RampArrivals", "TraceArrivals", "ClosedLoop",
+           "make_arrivals"]
 
 
 class ArrivalProcess(abc.ABC):
@@ -70,6 +81,97 @@ class PoissonArrivals(ArrivalProcess):
             t += float(self.rng.exponential(1.0 / self.rps))
 
 
+class BurstArrivals(ArrivalProcess):
+    """Poisson arrivals with periodic burst windows.
+
+    Every ``burst_every`` seconds the rate jumps to ``burst_rps`` for
+    ``burst_duration`` seconds, then falls back to ``base_rps``.  The
+    process is a piecewise-constant-rate Poisson process: thanks to the
+    exponential's memorylessness, restarting the inter-arrival draw at
+    each phase boundary with the new rate is exact, not approximate.
+    """
+
+    def __init__(self, base_rps: float, burst_rps: float,
+                 burst_every: float, burst_duration: float,
+                 rng: Optional[np.random.Generator] = None):
+        if base_rps <= 0 or burst_rps <= 0:
+            raise ValueError("rates must be positive")
+        if burst_every <= 0:
+            raise ValueError("burst_every must be positive")
+        if not 0 < burst_duration < burst_every:
+            raise ValueError("burst_duration must be in (0, burst_every)")
+        self.base_rps = base_rps
+        self.burst_rps = burst_rps
+        self.burst_every = burst_every
+        self.burst_duration = burst_duration
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def rate_at(self, t: float) -> float:
+        return self.burst_rps if (t % self.burst_every) < self.burst_duration \
+            else self.base_rps
+
+    def arrival_times(self, until: float) -> Iterator[float]:
+        t = 0.0
+        while t < until:
+            phase_pos = t % self.burst_every
+            in_burst = phase_pos < self.burst_duration
+            rate = self.burst_rps if in_burst else self.base_rps
+            boundary = t - phase_pos + (
+                self.burst_duration if in_burst else self.burst_every)
+            gap = float(self.rng.exponential(1.0 / rate))
+            if t + gap >= boundary:
+                # No arrival before the phase flips; redraw at the new
+                # rate from the boundary (exact by memorylessness).
+                # Rounding in ``t % burst_every`` can place the computed
+                # boundary at exactly ``t``; force progress or this
+                # loop never terminates.
+                t = boundary if boundary > t else math.nextafter(t, math.inf)
+                continue
+            t += gap
+            if t >= until:
+                return
+            yield t
+
+
+class RampArrivals(ArrivalProcess):
+    """Poisson arrivals whose rate ramps linearly over time.
+
+    The rate climbs from ``start_rps`` to ``end_rps`` across
+    ``ramp_duration`` seconds (the whole horizon when None) and holds
+    at ``end_rps`` afterwards.  Generated by thinning against the peak
+    rate, which is exact for any bounded rate function.
+    """
+
+    def __init__(self, start_rps: float, end_rps: float,
+                 ramp_duration: Optional[float] = None,
+                 rng: Optional[np.random.Generator] = None):
+        if start_rps <= 0 or end_rps <= 0:
+            raise ValueError("rates must be positive")
+        if ramp_duration is not None and ramp_duration <= 0:
+            raise ValueError("ramp_duration must be positive")
+        self.start_rps = start_rps
+        self.end_rps = end_rps
+        self.ramp_duration = ramp_duration
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def rate_at(self, t: float, horizon: Optional[float] = None) -> float:
+        ramp = self.ramp_duration if self.ramp_duration is not None else horizon
+        if ramp is None or ramp <= 0 or t >= ramp:
+            return self.end_rps
+        frac = t / ramp
+        return self.start_rps + (self.end_rps - self.start_rps) * frac
+
+    def arrival_times(self, until: float) -> Iterator[float]:
+        peak = max(self.start_rps, self.end_rps)
+        t = 0.0
+        while True:
+            t += float(self.rng.exponential(1.0 / peak))
+            if t >= until:
+                return
+            if self.rng.uniform() * peak <= self.rate_at(t, horizon=until):
+                yield t
+
+
 class TraceArrivals(ArrivalProcess):
     """Replays a list of absolute timestamps (e.g. the Apollo trace)."""
 
@@ -96,12 +198,23 @@ class ClosedLoop(ArrivalProcess):
 
 def make_arrivals(kind: str, rps: float = 0.0,
                   rng: Optional[np.random.Generator] = None,
-                  timestamps=None) -> ArrivalProcess:
+                  timestamps=None, burst_rps: Optional[float] = None,
+                  burst_every: float = 0.1, burst_duration: float = 0.02,
+                  end_rps: Optional[float] = None,
+                  ramp_duration: Optional[float] = None) -> ArrivalProcess:
     """Factory used by experiment configs."""
     if kind == "uniform":
         return UniformArrivals(rps)
     if kind == "poisson":
         return PoissonArrivals(rps, rng)
+    if kind == "burst":
+        if burst_rps is None:
+            raise ValueError("burst arrivals need burst_rps")
+        return BurstArrivals(rps, burst_rps, burst_every, burst_duration, rng)
+    if kind == "ramp":
+        if end_rps is None:
+            raise ValueError("ramp arrivals need end_rps")
+        return RampArrivals(rps, end_rps, ramp_duration, rng)
     if kind == "trace":
         if timestamps is None:
             raise ValueError("trace arrivals need timestamps")

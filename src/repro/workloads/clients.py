@@ -79,6 +79,10 @@ class ClientStats:
     dropped: int = 0
     failed: int = 0
     restarts: int = 0
+    # Requests shed at admission because their deadline had already
+    # expired before any GPU work was issued (overload protection).
+    # Shed is neither served nor failed: the request was never tried.
+    shed: int = 0
 
     def completed(self, after: float = 0.0) -> List[RequestRecord]:
         return [r for r in self.records if r.arrival >= after]
@@ -135,6 +139,11 @@ class _BaseClient:
         if self.ledger is not None:
             self.ledger.record_failed(self.name)
 
+    def _record_shed(self) -> None:
+        self.stats.shed += 1
+        if self.ledger is not None:
+            self.ledger.record_shed(self.name)
+
     def _startup(self):
         """Allocate resident model state (weights, workspace).
 
@@ -168,15 +177,28 @@ class _BaseClient:
 
 
 class InferenceClient(_BaseClient):
-    """Serves inference requests from an arrival process, FIFO."""
+    """Serves inference requests from an arrival process, FIFO.
+
+    ``deadline`` (relative seconds, None = no SLO) arms shed-at-
+    admission: a queued request whose ``arrival + deadline`` has
+    already passed when it reaches the head of the line is dropped —
+    recorded as *shed*, not served and not failed — before any GPU
+    work is issued.  Under a burst this keeps the latency distribution
+    of served requests meaningful instead of letting queueing delay
+    grow without bound (DESIGN.md §6.2).
+    """
 
     def __init__(self, sim: Simulator, ctx: ClientContext, plan: OpPlan,
                  device_spec: DeviceSpec, arrivals: ArrivalProcess,
                  name: str, horizon: float,
-                 ledger: Optional[ErrorLedger] = None):
+                 ledger: Optional[ErrorLedger] = None,
+                 deadline: Optional[float] = None):
         super().__init__(sim, ctx, plan, device_spec, name, ledger=ledger)
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive")
         self.arrivals = arrivals
         self.horizon = horizon
+        self.deadline = deadline
         self._pending: Deque[float] = deque()
         self._work = Signal(sim)
 
@@ -209,7 +231,16 @@ class InferenceClient(_BaseClient):
                     self._work = Signal(self.sim)
                     yield self._work
                 arrival = self._pending.popleft()
-            yield from self.ctx.begin_request()
+                if (self.deadline is not None
+                        and self.sim.now > arrival + self.deadline):
+                    # Shed at admission: the deadline expired while the
+                    # request sat in the pending queue — serving it now
+                    # would burn GPU time on an answer nobody can use.
+                    self._record_shed()
+                    continue
+            deadline = None if self.deadline is None \
+                else arrival + self.deadline
+            yield from self.ctx.begin_request(deadline=deadline)
             start = self.sim.now
             ops = instantiate_plan(self.plan, self.device_spec,
                                    client_id=self.ctx.client_id)
@@ -376,9 +407,11 @@ class RestartingInferenceClient(_RestartSupervisor, InferenceClient):
                  name: str, horizon: float,
                  ctx_factory: Optional[Callable[[], ClientContext]] = None,
                  max_restarts: int = 8,
-                 ledger: Optional[ErrorLedger] = None):
+                 ledger: Optional[ErrorLedger] = None,
+                 deadline: Optional[float] = None):
         InferenceClient.__init__(self, sim, ctx, plan, device_spec, arrivals,
-                                 name, horizon, ledger=ledger)
+                                 name, horizon, ledger=ledger,
+                                 deadline=deadline)
         self._configure_restarts(ctx_factory, max_restarts)
 
     def _start_aux(self) -> None:

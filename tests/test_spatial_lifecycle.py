@@ -1,0 +1,139 @@
+"""Deregister/queue-drain parity on the spatial baselines.
+
+The scheduling backends (Orion, REEF) already promise full teardown on
+deregistration — queued ops errored with a client-attributed kill,
+stream destroyed, memory freed, survivors untouched.  These tests pin
+the same contract on the direct-submission baselines (GPU Streams,
+Priority Streams, MPS) and the Ideal/Dedicated backend.
+"""
+
+import pytest
+
+from repro.baselines import (
+    DedicatedBackend,
+    MpsBackend,
+    PriorityStreamsBackend,
+    StreamsBackend,
+)
+from repro.gpu.device import GpuDevice
+from repro.gpu.errors import CudaErrorCode
+from repro.gpu.specs import V100_16GB
+from repro.kernels.kernel import MemoryOp, MemoryOpKind
+from repro.runtime.backend import UnknownClientError
+from repro.sim.engine import Simulator
+
+from helpers import compute_spec, make_kernel
+
+SHARED_SPATIAL = (StreamsBackend, PriorityStreamsBackend, MpsBackend)
+
+
+def make_spatial(cls, sim):
+    return cls(sim, GpuDevice(sim, V100_16GB))
+
+
+def make_dedicated(sim):
+    return DedicatedBackend(sim, lambda: GpuDevice(sim, V100_16GB))
+
+
+@pytest.mark.parametrize("cls", SHARED_SPATIAL)
+def test_deregister_rejects_further_lifecycle_calls(cls):
+    sim = Simulator()
+    backend = make_spatial(cls, sim)
+    backend.register_client("victim", False, "inference")
+    backend.deregister_client("victim")
+    with pytest.raises(UnknownClientError):
+        backend.submit("victim", make_kernel(compute_spec()))
+    with pytest.raises(UnknownClientError):
+        backend.deregister_client("victim")
+
+
+@pytest.mark.parametrize("cls", SHARED_SPATIAL)
+def test_deregister_drains_queued_ops_with_client_kill(cls):
+    sim = Simulator()
+    backend = make_spatial(cls, sim)
+    backend.register_client("victim", False, "inference")
+    device = backend.devices()[0]
+    # Two long kernels: the first occupies the stream, the second is
+    # still queued (undispatched) when the client dies.
+    first = backend.submit("victim", make_kernel(
+        compute_spec("long-a", duration=5e-3), client_id="victim"))
+    queued = backend.submit("victim", make_kernel(
+        compute_spec("long-b", duration=5e-3), client_id="victim"))
+    sim.run(until=1e-4)
+    assert not queued.triggered
+    streams_before = len(device.streams)
+    backend.deregister_client("victim")
+    assert len(device.streams) == streams_before - 1
+    assert queued.triggered
+    assert queued.error is not None
+    assert queued.error.code is CudaErrorCode.CLIENT_KILLED
+    assert queued.error.client_id == "victim"
+    # The in-flight kernel is not preemptible: it runs to completion.
+    sim.run()
+    assert first.triggered
+
+
+@pytest.mark.parametrize("cls", SHARED_SPATIAL)
+def test_deregister_releases_memory(cls):
+    sim = Simulator()
+    backend = make_spatial(cls, sim)
+    backend.register_client("victim", False, "inference")
+    device = backend.devices()[0]
+    backend.submit("victim", MemoryOp(kind=MemoryOpKind.MALLOC,
+                                      nbytes=1 << 30, blocking=True,
+                                      client_id="victim"))
+    sim.run()
+    assert device.memory.client_usage("victim") == 1 << 30
+    backend.deregister_client("victim")
+    assert device.memory.client_usage("victim") == 0
+    assert device.memory.used == 0
+
+
+@pytest.mark.parametrize("cls", SHARED_SPATIAL)
+def test_survivors_unaffected_by_deregistration(cls):
+    sim = Simulator()
+    backend = make_spatial(cls, sim)
+    backend.register_client("victim", False, "inference")
+    backend.register_client("survivor", True, "inference")
+    backend.submit("victim", make_kernel(
+        compute_spec("v-k", duration=5e-3), client_id="victim"))
+    alive = backend.submit("survivor", make_kernel(
+        compute_spec("s-k", duration=1e-3), client_id="survivor"))
+    backend.deregister_client("victim")
+    sim.run()
+    assert alive.triggered
+    assert alive.error is None
+    # The survivor's registration and stream are intact.
+    assert backend.client_info("survivor") is not None
+    again = backend.submit("survivor", make_kernel(
+        compute_spec("s-k2", duration=1e-3), client_id="survivor"))
+    sim.run()
+    assert again.error is None
+
+
+def test_dedicated_backend_deregister_parity():
+    sim = Simulator()
+    backend = make_dedicated(sim)
+    backend.register_client("victim", False, "inference")
+    backend.register_client("survivor", False, "inference")
+    victim_device = backend.device_for("victim")
+    backend.submit("victim", MemoryOp(kind=MemoryOpKind.MALLOC,
+                                      nbytes=1 << 20, blocking=True,
+                                      client_id="victim"))
+    backend.submit("victim", make_kernel(
+        compute_spec("long-a", duration=5e-3), client_id="victim"))
+    queued = backend.submit("victim", make_kernel(
+        compute_spec("long-b", duration=5e-3), client_id="victim"))
+    sim.run(until=1e-4)
+    backend.deregister_client("victim")
+    assert queued.error is not None
+    assert queued.error.code is CudaErrorCode.CLIENT_KILLED
+    assert queued.error.client_id == "victim"
+    assert victim_device.memory.client_usage("victim") == 0
+    assert victim_device not in backend.devices()
+    with pytest.raises(UnknownClientError):
+        backend.submit("victim", make_kernel(compute_spec()))
+    survivor_op = backend.submit("survivor", make_kernel(
+        compute_spec("s-k", duration=1e-3), client_id="survivor"))
+    sim.run()
+    assert survivor_op.error is None
