@@ -36,7 +36,16 @@ class TemporalBackend(Backend):
         self._pending_grants: Dict[str, Signal] = {}
         # Per-client slice-wait telemetry (temporal sharing has no
         # software op queues; its "queue" is the wait for the GPU lock).
-        self._wait_stats: Dict[str, dict] = {}
+        # Instruments live on the MetricsRegistry; cached per client.
+        self._waits: Dict[str, tuple] = {}
+
+    def _wait_instruments(self, client_id: str) -> tuple:
+        inst = self._waits.get(client_id)
+        if inst is None:
+            inst = (self.metrics.counter("slice_wait_total", client=client_id),
+                    self.metrics.gauge("slice_waiting", client=client_id))
+            self._waits[client_id] = inst
+        return inst
 
     def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
         info = self._register(client_id, high_priority, kind)
@@ -59,17 +68,20 @@ class TemporalBackend(Backend):
                       deadline: Optional[float] = None) -> Optional[Signal]:
         info = self.client_info(client_id)
         grant = self._gpu_lock.acquire(priority=info.priority, holder=client_id)
-        stats = self._wait_stats.setdefault(
-            client_id, {"enqueued_total": 0, "max_depth_seen": 0})
-        stats["enqueued_total"] += 1
+        enqueued, waiting = self._wait_instruments(client_id)
+        enqueued.value += 1
 
         def on_grant(_sig):
             self._holding = client_id
             self._pending_grants.pop(client_id, None)
+            waiting.value = 0
 
         if not grant.triggered:
             self._pending_grants[client_id] = grant
-            stats["max_depth_seen"] = max(stats["max_depth_seen"], 1)
+            waiting.set(1)
+            if self.tracer.enabled:
+                self.tracer.instant("scheduler", "slice_wait",
+                                    client=client_id)
         grant.add_callback(on_grant)
         return grant
 
@@ -98,11 +110,11 @@ class TemporalBackend(Backend):
         """Slice-wait snapshot in the uniform queue-telemetry schema:
         ``depth`` is 1 while the client waits for its time slice."""
         snapshot = {}
-        for client_id, stats in sorted(self._wait_stats.items()):
+        for client_id, (enqueued, waiting) in sorted(self._waits.items()):
             snapshot[client_id] = {
                 "depth": 1 if client_id in self._pending_grants else 0,
-                "enqueued_total": stats["enqueued_total"],
-                "max_depth_seen": stats["max_depth_seen"],
+                "enqueued_total": enqueued.value,
+                "max_depth_seen": waiting.max_seen,
                 "rejected_total": 0,
                 "max_depth": None,
             }

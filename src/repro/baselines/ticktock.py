@@ -38,8 +38,18 @@ class TickTockBackend(Backend):
         self._waiting: Dict[str, Signal] = {}
         self.barriers_released = 0
         # Per-client barrier-wait telemetry (Tick-Tock has no software
-        # op queues; its "queue" is the phase barrier).
-        self._wait_stats: Dict[str, dict] = {}
+        # op queues; its "queue" is the phase barrier).  Instruments
+        # live on the MetricsRegistry; cached per client.
+        self._waits: Dict[str, tuple] = {}
+
+    def _wait_instruments(self, client_id: str) -> tuple:
+        inst = self._waits.get(client_id)
+        if inst is None:
+            inst = (self.metrics.counter("barrier_wait_total",
+                                         client=client_id),
+                    self.metrics.gauge("barrier_waiting", client=client_id))
+            self._waits[client_id] = inst
+        return inst
 
     def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
         if kind != "training":
@@ -63,14 +73,11 @@ class TickTockBackend(Backend):
             return None
         gate = Signal(self.sim)
         self._waiting[client_id] = gate
-        stats = self._wait_stats.setdefault(
-            client_id, {"enqueued_total": 0, "max_depth_seen": 1})
-        stats["enqueued_total"] += 1
+        enqueued, waiting_g = self._wait_instruments(client_id)
+        enqueued.value += 1
+        waiting_g.set(1)
         if len(self._waiting) == len(self.clients):
-            waiting, self._waiting = self._waiting, {}
-            self.barriers_released += 1
-            for signal in waiting.values():
-                signal.trigger()
+            self._release_barrier()
         return gate
 
     def _deregister_cleanup(self, info: ClientInfo) -> None:
@@ -85,20 +92,28 @@ class TickTockBackend(Backend):
         # base class removes the dead client from ``clients`` after this
         # hook runs, hence the ``- 1``.
         if self._waiting and len(self._waiting) >= len(self.clients) - 1:
-            waiting, self._waiting = self._waiting, {}
-            self.barriers_released += 1
-            for signal in waiting.values():
-                signal.trigger()
+            self._release_barrier()
+
+    def _release_barrier(self) -> None:
+        waiting, self._waiting = self._waiting, {}
+        self.barriers_released += 1
+        if self.tracer.enabled:
+            self.tracer.instant("scheduler", "barrier_release",
+                                clients=len(waiting))
+        for client_id, signal in waiting.items():
+            if client_id in self._waits:
+                self._waits[client_id][1].value = 0
+            signal.trigger()
 
     def queue_telemetry(self) -> Dict[str, dict]:
         """Barrier-wait snapshot in the uniform queue-telemetry schema:
         ``depth`` is 1 while the client is held at a phase barrier."""
         snapshot = {}
-        for client_id, stats in sorted(self._wait_stats.items()):
+        for client_id, (enqueued, waiting) in sorted(self._waits.items()):
             snapshot[client_id] = {
                 "depth": 1 if client_id in self._waiting else 0,
-                "enqueued_total": stats["enqueued_total"],
-                "max_depth_seen": stats["max_depth_seen"],
+                "enqueued_total": enqueued.value,
+                "max_depth_seen": waiting.max_seen,
                 "rejected_total": 0,
                 "max_depth": None,
             }

@@ -125,6 +125,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit JSON (including the canonical ledger)")
 
+    p = sub.add_parser("trace",
+                       help="run a scenario with the tracer on; write the "
+                            "Chrome trace-event JSON (view in Perfetto)")
+    p.add_argument("scenario",
+                   choices=("overload", "inf-train", "train-train", "inf-inf"),
+                   help="which scenario to trace")
+    p.add_argument("--out", required=True,
+                   help="Chrome trace-event JSON output path")
+    p.add_argument("--metrics-out", default=None,
+                   help="also write the canonical metrics snapshot JSON here")
+    p.add_argument("--attribution-out", default=None,
+                   help="also write the per-request queue-delay attribution "
+                        "report JSON here")
+    p.add_argument("--hp", default="resnet50", choices=MODEL_NAMES,
+                   help="high-priority model (experiment scenarios)")
+    p.add_argument("--be", default="mobilenet_v2", choices=MODEL_NAMES,
+                   help="best-effort model (experiment scenarios)")
+    p.add_argument("--backend", default="orion",
+                   help="sharing technique (experiment scenarios)")
+    p.add_argument("--duration", type=float, default=0.4,
+                   help="simulated seconds (default 0.4)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--device", default="V100-16GB", choices=sorted(DEVICES))
+    p.add_argument("--capacity", type=int, default=1 << 16,
+                   help="tracer ring-buffer capacity in events")
+    p.add_argument("--engine-events", action="store_true",
+                   help="also record every simulator calendar event "
+                        "(very high volume)")
+
     p = sub.add_parser("profile", help="offline-profile one workload (§5.2)")
     p.add_argument("--model", required=True, choices=MODEL_NAMES)
     p.add_argument("--kind", default="inference",
@@ -274,6 +303,61 @@ def _run_overload(args) -> None:
     print(result.ledger.format_table())
 
 
+def _run_trace(args) -> None:
+    from repro.telemetry import (
+        TelemetryConfig,
+        attribution_report,
+        export_chrome_trace,
+        format_attribution_table,
+    )
+
+    tcfg = TelemetryConfig(tracing=True, capacity=args.capacity,
+                           engine_events=args.engine_events)
+    if args.scenario == "overload":
+        from repro.experiments.overload import run_overload_scenario
+
+        result = run_overload_scenario(
+            seed=args.seed, duration=args.duration, device=args.device,
+            telemetry=tcfg,
+        )
+        tracer, metrics = result.tracer, result.metrics
+        segments = result.utilization_segments
+    else:
+        import dataclasses
+
+        maker = {"inf-train": inf_train_config,
+                 "train-train": train_train_config,
+                 "inf-inf": inf_inf_config}[args.scenario]
+        # Build at the registry defaults, then rescale: the registry
+        # hardcodes a 0.5 s warmup, which would reject short traces.
+        config = maker(args.hp, args.be, args.backend, seed=args.seed,
+                       device=args.device)
+        config = dataclasses.replace(
+            config, duration=args.duration,
+            warmup=min(config.warmup, args.duration / 4),
+            telemetry=tcfg, record_utilization=True)
+        result = run_experiment(config)
+        tracer, metrics = result.tracer, result.metrics
+        segments = result.utilization_segments
+    with open(args.out, "w") as fh:
+        fh.write(export_chrome_trace(tracer, utilization_segments=segments))
+    print(f"wrote {args.out}  ({len(tracer)} events, "
+          f"{tracer.dropped} dropped)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(metrics.to_json())
+        print(f"wrote {args.metrics_out}")
+    if args.attribution_out:
+        with open(args.attribution_out, "w") as fh:
+            json.dump(attribution_report(tracer), fh, sort_keys=True,
+                      separators=(",", ":"))
+        print(f"wrote {args.attribution_out}")
+    table = format_attribution_table(tracer)
+    if table.count("\n"):
+        print("\nlatency attribution (per client):")
+        print(table)
+
+
 def _run_profile(args) -> None:
     profile = get_profile(args.model, args.kind, get_device(args.device))
     if args.out:
@@ -301,6 +385,9 @@ def main(argv=None) -> int:
         return 0
     if args.command == "overload":
         _run_overload(args)
+        return 0
+    if args.command == "trace":
+        _run_trace(args)
         return 0
     result = run_experiment(_experiment_config(args))
     _print_experiment(result, args.json)

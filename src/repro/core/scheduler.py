@@ -261,6 +261,9 @@ class OrionBackend(Backend):
         """Load shedding at the queue: complete immediately with the
         retryable ``QUEUE_FULL`` status instead of enqueueing."""
         queue.rejected_total += 1
+        if self.tracer.enabled:
+            self.tracer.instant("scheduler", "queue_reject",
+                                client=client_id, depth=queue.depth)
         done = Signal(self.sim)
         done.trigger(None, error=CudaError(
             CudaErrorCode.QUEUE_FULL,
@@ -353,11 +356,15 @@ class OrionBackend(Backend):
         if not self.be_admission_suspended:
             self.be_admission_suspended = True
             self.be_suspensions += 1
+            if self.tracer.enabled:
+                self.tracer.instant("scheduler", "be_admission_suspended")
 
     def resume_be_admission(self) -> None:
         """Re-open best-effort admission after the SLO recovers."""
         if self.be_admission_suspended:
             self.be_admission_suspended = False
+            if self.tracer.enabled:
+                self.tracer.instant("scheduler", "be_admission_resumed")
             self._wake_scheduler()
 
     # ------------------------------------------------------------------
@@ -501,6 +508,10 @@ class OrionBackend(Backend):
                 deadline = in_flight.started_at + multiple * expected
                 if now > deadline:
                     self._watchdog_seen.add(op.seq)
+                    if self.tracer.enabled:
+                        self.tracer.instant("scheduler", "watchdog_flag",
+                                            client=client_id,
+                                            kernel=op.spec.name)
                     self.watchdog_flags.append({
                         "time": now,
                         "client": client_id,
@@ -516,12 +527,14 @@ class OrionBackend(Backend):
             return False
         if self.be_admission_suspended:
             self.be_kernels_deferred += 1
+            self._trace_be_block(client_id, "suspended")
             return False
         if isinstance(op, MemoryOp):
             # PCIe management: hold BE transfers while an HP transfer
             # owns the bus; submit directly otherwise.
             if self._hp_transfers_active > 0:
                 self.be_kernels_deferred += 1
+                self._trace_be_block(client_id, "pcie_hold")
                 return False
             op, done = state.queue.pop()
             inner = state.stream.submit(op)
@@ -539,13 +552,18 @@ class OrionBackend(Backend):
                               candidate_duration=be_profile.duration,
                               hp_task_running=self.hp_task_running):
             self.be_kernels_deferred += 1
+            self._trace_be_block(client_id, "dur_threshold")
             return False
         hp_profile = self._current_hp_profile()
         if not schedule_be(self.hp_task_running, hp_profile, be_profile,
                            self.sm_threshold, self.config):
             self.be_kernels_deferred += 1
+            self._trace_be_block(client_id, "policy")
             return False
         op, done = state.queue.pop()
+        if self.tracer.enabled:
+            self.tracer.instant("scheduler", "be_admit", client=client_id,
+                                kernel=op.spec.name)
         inner = state.stream.submit(op)
         self._chain(inner, done)
         state.outstanding += be_profile.duration
@@ -554,6 +572,11 @@ class OrionBackend(Backend):
         self.be_kernels_launched += 1
         self._wake_watchdog()
         return True
+
+    def _trace_be_block(self, client_id: str, reason: str) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant("scheduler", "be_block", client=client_id,
+                                reason=reason)
 
     def _chain(self, inner: Signal, outer: Signal) -> None:
         """Forward the stream's completion to the client's signal."""

@@ -176,6 +176,13 @@ class SloGuard:
     def _record(self, action: str, observed: float) -> None:
         if self.config.reset_window_on_action:
             self.backend.hp_latency_window.clear()
+        tracer = self.backend.tracer
+        if tracer.enabled:
+            tracer.instant(
+                "sloguard", action,
+                observed=round(float(observed), _TIME_DECIMALS),
+                dur_threshold_frac=round(
+                    float(self.backend.config.dur_threshold_frac), 12))
         self.actions.append({
             "time": round(float(self.sim.now), _TIME_DECIMALS),
             "action": action,

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro.telemetry.tracer import TelemetryConfig
+
 __all__ = ["JobSpec", "ExperimentConfig"]
 
 
@@ -50,6 +52,8 @@ class ExperimentConfig:
     # Extra kwargs forwarded to OrionConfig (ablation switches, thresholds).
     orion: Dict = field(default_factory=dict)
     profile_noise: float = 0.0
+    # Run telemetry: tracing off by default (nil-tracer fast path).
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self):
         if not self.jobs:

@@ -37,6 +37,8 @@ from repro.runtime.client import ClientContext
 from repro.runtime.host import HostGil, HostThread
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import NULL_TRACER, TelemetryConfig
 from repro.workloads.arrivals import make_arrivals
 from repro.workloads.clients import ClientStats, InferenceClient
 from repro.workloads.models import get_plan
@@ -58,6 +60,12 @@ class OverloadResult:
     queue_telemetry: Dict[str, dict] = field(default_factory=dict)
     guard_actions: List[dict] = field(default_factory=list)
     guard_summary: Optional[dict] = None
+    # The run's tracer (NULL_TRACER unless telemetry.tracing was set),
+    # the backend's metrics registry, and any utilization segments the
+    # device recorded (only when tracing, for the trace's counters).
+    tracer: object = NULL_TRACER
+    metrics: Optional[MetricsRegistry] = None
+    utilization_segments: List = field(default_factory=list)
 
     @property
     def hp_stats(self) -> ClientStats:
@@ -92,6 +100,7 @@ def run_overload_scenario(
     policy: str = "block",
     initial_dur_frac: float = 0.35,
     warmup: float = 0.0,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> OverloadResult:
     """Run the overload scenario and return its accounting.
 
@@ -128,13 +137,21 @@ def run_overload_scenario(
     be_deadline = None if deadline_mult is None \
         else deadline_mult * solo_latency
 
-    gpu = GpuDevice(sim, device_spec)
+    telemetry = telemetry or TelemetryConfig()
+    # Utilization segments feed the trace's device counters; recording
+    # them without a tracer would only burn memory.
+    gpu = GpuDevice(sim, device_spec,
+                    record_utilization=telemetry.tracing)
     backend = OrionBackend(sim, gpu, store, OrionConfig(
         hp_request_latency=solo_latency,
         dur_threshold_frac=initial_dur_frac,
         be_queue_depth=queue_depth,
         overload_policy=policy,
     ))
+    tracer = telemetry.build_tracer(sim)
+    backend.set_telemetry(tracer=tracer)
+    if telemetry.engine_events:
+        sim.attach_tracer(tracer)
 
     gil = HostGil(sim)
 
@@ -198,4 +215,7 @@ def run_overload_scenario(
         queue_telemetry=backend.queue_telemetry(),
         guard_actions=list(slo_guard.actions) if slo_guard else [],
         guard_summary=slo_guard.summary() if slo_guard else None,
+        tracer=tracer,
+        metrics=backend.metrics,
+        utilization_segments=list(gpu.utilization_segments),
     )

@@ -34,6 +34,8 @@ from repro.runtime.client import ClientContext
 from repro.runtime.host import HostGil, HostThread
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import NULL_TRACER
 from repro.workloads.apollo import apollo_trace
 from repro.workloads.arrivals import (
     ClosedLoop,
@@ -85,6 +87,10 @@ class ExperimentResult:
     utilization: Optional[UtilizationAverages] = None
     utilization_segments: List = field(default_factory=list)
     backend_stats: Dict = field(default_factory=dict)
+    # The run's tracer (NULL_TRACER unless config.telemetry.tracing)
+    # and the backend's metrics registry.
+    tracer: object = NULL_TRACER
+    metrics: Optional[MetricsRegistry] = None
 
     @property
     def hp_job(self) -> JobResult:
@@ -164,6 +170,13 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
 
     backend = _make_backend(config, sim, device_spec, store, hp_latency)
 
+    # Telemetry must be wired before clients register: queues and client
+    # contexts capture the tracer reference at creation.
+    tracer = config.telemetry.build_tracer(sim)
+    backend.set_telemetry(tracer=tracer)
+    if config.telemetry.engine_events:
+        sim.attach_tracer(tracer)
+
     shared_gil = None if backend.process_per_client else HostGil(sim)
     clients = []
     for job in config.jobs:
@@ -185,6 +198,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         clients.append((job, client))
 
     backend.start()
+    # Re-propagate the tracer to devices created during registration
+    # (DedicatedBackend allocates one device per client).
+    backend.set_telemetry()
     for _job, client in clients:
         client.start()
     sim.run(until=config.duration)
@@ -198,7 +214,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                                    job.high_priority, latency, tput,
                                    client.stats)
 
-    result = ExperimentResult(config=config, jobs=jobs)
+    result = ExperimentResult(config=config, jobs=jobs, tracer=tracer,
+                              metrics=backend.metrics)
     if config.record_utilization:
         segments = []
         for device in backend.devices():

@@ -16,6 +16,7 @@ from repro.gpu.device import GpuDevice
 from repro.profiler.profiles import ProfileStore
 from repro.sim.engine import Simulator
 from repro.sim.process import Process, Timeout, spawn
+from repro.telemetry.tracer import NULL_TRACER
 
 from .plan import FaultEvent, FaultPlan, KernelFault, KillClient, ProfileFault, TransferFault
 
@@ -32,12 +33,14 @@ class FaultInjector:
         device: Optional[GpuDevice] = None,
         clients: Optional[Dict[str, object]] = None,
         profiles: Optional[ProfileStore] = None,
+        tracer=NULL_TRACER,
     ):
         self.sim = sim
         self.plan = plan
         self.device = device
         self.clients: Dict[str, object] = dict(clients or {})
         self.profiles = profiles
+        self.tracer = tracer
         # Chronological record of injected faults (feeds the error ledger).
         self.log: List[dict] = []
         self._process: Optional[Process] = None
@@ -121,6 +124,9 @@ class FaultInjector:
             self._record(event)
 
     def _record(self, event: FaultEvent) -> None:
+        if self.tracer.enabled:
+            self.tracer.instant("faults", type(event).__name__,
+                                fault=event.describe())
         self.log.append({
             "time": round(self.sim.now, 9),
             "type": type(event).__name__,

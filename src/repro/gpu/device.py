@@ -28,6 +28,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.kernels.kernel import KernelOp, MemoryOp, MemoryOpKind
 from repro.sim.engine import ScheduledEvent, Simulator
 from repro.sim.process import Signal
+from repro.telemetry.tracer import NULL_TRACER
 
 from .contention import ContentionModel, ContentionParams
 from .errors import CudaError, CudaErrorCode
@@ -111,7 +112,10 @@ class GpuDevice:
         # Armed fault-injection state (see repro.faults).
         self._armed_kernel_faults: List[ArmedKernelFault] = []
         self._armed_transfer_faults = 0
-        # Telemetry.
+        # Telemetry.  The tracer is wired by the run harness
+        # (Backend.set_telemetry / the experiment runner); the default
+        # null tracer keeps the hot paths on the disabled fast path.
+        self.tracer = NULL_TRACER
         self.record_utilization = record_utilization
         self.utilization_segments: List[Tuple[float, float, float, float, float]] = []
         self.kernels_completed = 0
@@ -268,6 +272,11 @@ class GpuDevice:
                 stream.in_flight = head
                 head.started_at = self.sim.now
                 self.kernels_faulted += 1
+                if self.tracer.enabled:
+                    self.tracer.op_dispatch(op.client_id, op.seq, stream.name)
+                    self.tracer.instant("device", "kernel_fault",
+                                        client=op.client_id,
+                                        kernel=op.spec.name)
                 self.sim.call_in(
                     FAULT_REPORT_LATENCY,
                     lambda h=head, e=fault: self._finish_faulted_op(h, e))
@@ -281,6 +290,8 @@ class GpuDevice:
             stream.in_flight = head
             head.started_at = self.sim.now
             self.running[op.seq] = RunningKernel(head, self.sim.now)
+            if self.tracer.enabled:
+                self.tracer.op_dispatch(op.client_id, op.seq, stream.name)
             changed = True
         if changed:
             self._recompute_rates()
@@ -354,6 +365,10 @@ class GpuDevice:
             stream_op.stream.in_flight = None
             stream_op.stream.ops_completed += 1
             self.kernels_completed += 1
+            if self.tracer.enabled:
+                self.tracer.op_complete(r.op.client_id, r.op.seq,
+                                        stream_op.stream.name,
+                                        r.op.duration, True)
             to_signal.append(stream_op.done)
         # Survivors may speed up now that co-runners left; recompute.
         self._recompute_rates()
@@ -367,6 +382,9 @@ class GpuDevice:
         stream = stream_op.stream
         stream.in_flight = None
         stream.ops_completed += 1
+        if self.tracer.enabled:
+            self.tracer.op_complete(stream_op.op.client_id, stream_op.op.seq,
+                                    stream.name, None, error is None)
         stream_op.done.trigger(self.sim.now, error=error)
 
     def _finish_faulted_op(self, stream_op: StreamOp, error: CudaError) -> None:
@@ -382,6 +400,8 @@ class GpuDevice:
         stream.queue.popleft()
         stream.in_flight = head
         head.started_at = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.op_dispatch(op.client_id, op.seq, stream.name)
         if op.kind.is_transfer:
             direction = "d2h" if op.kind is MemoryOpKind.MEMCPY_D2H else "h2d"
             self._active_transfers += 1
@@ -428,6 +448,9 @@ class GpuDevice:
         head = self._pending_syncs.popleft()
         self._sync_in_progress = True
         head.started_at = self.sim.now
+        if self.tracer.enabled:
+            self.tracer.op_dispatch(head.op.client_id, head.op.seq,
+                                    head.stream.name)
         error: Optional[CudaError] = None
         try:
             self._apply_memory_op(head.op)
@@ -438,6 +461,10 @@ class GpuDevice:
             self.oom_failures += 1
             error = CudaError(CudaErrorCode.OUT_OF_MEMORY, str(exc),
                               client_id=head.op.client_id, time=self.sim.now)
+            if self.tracer.enabled:
+                self.tracer.instant("device", "oom",
+                                    client=head.op.client_id,
+                                    nbytes=head.op.nbytes)
 
         def finish(h=head, e=error):
             self._sync_in_progress = False

@@ -17,6 +17,8 @@ from repro.gpu.device import GpuDevice
 from repro.kernels.kernel import KernelOp, MemoryOp
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import NULL_TRACER
 
 __all__ = ["Backend", "ClientInfo", "SoftwareQueue", "Op", "UnknownClientError"]
 
@@ -68,7 +70,9 @@ class SoftwareQueue:
 
     def __init__(self, sim: Simulator, client_id: str,
                  max_depth: Optional[int] = None,
-                 high_water: Optional[int] = None):
+                 high_water: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 tracer=NULL_TRACER):
         if max_depth is not None and max_depth < 1:
             raise ValueError("max_depth must be >= 1")
         if high_water is None and max_depth is not None:
@@ -80,14 +84,48 @@ class SoftwareQueue:
         self.client_id = client_id
         self.max_depth = max_depth
         self.high_water = high_water
+        self.tracer = tracer
         self._items: Deque[tuple[Op, Signal]] = deque()
-        self.enqueued_total = 0
-        self.max_depth_seen = 0
-        self.rejected_total = 0
+        # Depth/admit/reject accounting lives on MetricsRegistry
+        # instruments; a private registry keeps standalone queues (unit
+        # tests, ad-hoc construction) on the same code path.
+        registry = registry if registry is not None else MetricsRegistry()
+        self._m_enqueued = registry.counter("queue_enqueued_total",
+                                            client=client_id)
+        self._m_rejected = registry.counter("queue_rejected_total",
+                                            client=client_id)
+        self._m_depth = registry.gauge("queue_depth", client=client_id)
         self._room_waiters: list[Signal] = []
 
     def __len__(self) -> int:
         return len(self._items)
+
+    # Back-compat shim: the PR-2 telemetry attributes stay readable and
+    # writable (backends do ``queue.rejected_total += 1``) while the
+    # values live on registry instruments.
+    @property
+    def enqueued_total(self) -> int:
+        return self._m_enqueued.value
+
+    @enqueued_total.setter
+    def enqueued_total(self, value: int) -> None:
+        self._m_enqueued.value = value
+
+    @property
+    def rejected_total(self) -> int:
+        return self._m_rejected.value
+
+    @rejected_total.setter
+    def rejected_total(self, value: int) -> None:
+        self._m_rejected.value = value
+
+    @property
+    def max_depth_seen(self) -> int:
+        return self._m_depth.max_seen
+
+    @max_depth_seen.setter
+    def max_depth_seen(self, value: int) -> None:
+        self._m_depth.max_seen = value
 
     @property
     def depth(self) -> int:
@@ -100,9 +138,10 @@ class SoftwareQueue:
     def push(self, op: Op) -> Signal:
         done = Signal(self.sim)
         self._items.append((op, done))
-        self.enqueued_total += 1
-        if len(self._items) > self.max_depth_seen:
-            self.max_depth_seen = len(self._items)
+        self._m_enqueued.value += 1
+        self._m_depth.set(len(self._items))
+        if self.tracer.enabled:
+            self.tracer.op_enqueue(self.client_id, op.seq, len(self._items))
         return done
 
     def peek(self) -> Optional[Op]:
@@ -112,6 +151,9 @@ class SoftwareQueue:
         if not self._items:
             raise IndexError(f"pop from empty software queue {self.client_id!r}")
         item = self._items.popleft()
+        self._m_depth.value = len(self._items)
+        if self.tracer.enabled:
+            self.tracer.op_schedule(self.client_id, item[0].seq)
         self._release_room()
         return item
 
@@ -120,6 +162,7 @@ class SoftwareQueue:
         the owning client dies so pending signals can be errored."""
         items = list(self._items)
         self._items.clear()
+        self._m_depth.value = 0
         # A drained queue has room by definition; waiters re-check their
         # context health after waking (the owner is usually dead here).
         waiters, self._room_waiters = self._room_waiters, []
@@ -172,6 +215,25 @@ class Backend(abc.ABC):
         # Registry of software queues for uniform depth telemetry; a
         # backend that queues ops creates queues via _new_queue.
         self._software_queues: Dict[str, SoftwareQueue] = {}
+        # Telemetry: off by default (nil-tracer fast path).  Wire a run's
+        # tracer/registry with set_telemetry BEFORE clients register —
+        # queues and client contexts capture the references at creation.
+        self.tracer = NULL_TRACER
+        self.metrics = MetricsRegistry()
+
+    def set_telemetry(self, tracer=None, metrics: Optional[MetricsRegistry] = None) -> None:
+        """Attach a run's tracer and/or metrics registry.  Must be
+        called before clients register: software queues and client
+        contexts capture the references when they are created."""
+        if tracer is not None:
+            self.tracer = tracer
+        if metrics is not None:
+            self.metrics = metrics
+        try:
+            for device in self.devices():
+                device.tracer = self.tracer
+        except NotImplementedError:
+            pass
 
     @abc.abstractmethod
     def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
@@ -254,7 +316,8 @@ class Backend(abc.ABC):
                    high_water: Optional[int] = None) -> SoftwareQueue:
         """Create and register a software queue for ``client_id``."""
         queue = SoftwareQueue(self.sim, client_id, max_depth=max_depth,
-                              high_water=high_water)
+                              high_water=high_water,
+                              registry=self.metrics, tracer=self.tracer)
         self._software_queues[client_id] = queue
         return queue
 

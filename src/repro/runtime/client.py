@@ -54,6 +54,9 @@ class ClientContext:
         self.backend = backend
         self.client_id = client_id
         self.host = host
+        # Captured at construction: the backend's tracer must be wired
+        # (Backend.set_telemetry) before contexts are created.
+        self.tracer = backend.tracer
         self.info = backend.register_client(client_id, high_priority, kind)
         self._outstanding: List[Signal] = []
         self.ops_issued = 0
@@ -147,6 +150,12 @@ class ClientContext:
         """
         if self.closed or self.poisoned:
             return self._rejected()
+        if self.tracer.enabled:
+            # Submit is stamped before the admission gate and launch
+            # cost: backpressure stalls and host time belong to the
+            # request's queue component, not its execution.
+            self.tracer.op_submit(self.client_id, op.seq, op.name,
+                                  op.is_kernel)
         gate = self.backend.admission_gate(self.client_id)
         if gate is not None and not gate.triggered:
             # Backpressure: the backend's bounded queue is full and this

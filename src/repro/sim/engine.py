@@ -73,6 +73,16 @@ class Simulator:
         self._running = False
         self._stopped = False
         self.events_processed = 0
+        # Engine-level tracing (None = fast path).  Every processed
+        # calendar event is recorded, so this is opt-in via
+        # TelemetryConfig.engine_events, not regular tracing.
+        self._tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Record every processed calendar event in ``tracer`` (verbose;
+        enabled only by ``TelemetryConfig.engine_events``).  Pass a
+        disabled tracer (or None) to detach."""
+        self._tracer = tracer if tracer is not None and tracer.enabled else None
 
     @property
     def now(self) -> float:
@@ -119,6 +129,9 @@ class Simulator:
             self._now = max(self._now, event.time)
             event.fired = True
             self.events_processed += 1
+            if self._tracer is not None:
+                self._tracer.sim_event(
+                    getattr(event.callback, "__qualname__", "callback"))
             event.callback()
             return True
         return False

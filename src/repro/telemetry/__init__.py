@@ -1,0 +1,49 @@
+"""Runtime telemetry: structured tracing, metrics, and trace export.
+
+The measurement substrate for the reproduction (DESIGN.md §6.3).  Three
+pieces, all deterministic and wall-clock-free:
+
+* :class:`Tracer` — ring-buffered structured event recorder for kernel
+  lifecycle spans (``submit → enqueue → schedule → dispatch →
+  complete``) and scheduler-decision instants; off by default behind
+  the :data:`NULL_TRACER` fast path.
+* :class:`MetricsRegistry` — named counters/gauges/fixed-bucket
+  histograms with canonical JSON snapshots, replacing the ad-hoc
+  per-backend telemetry dicts.
+* Exporters — Chrome trace-event JSON (Perfetto-viewable) and the
+  per-request queue-delay attribution report.
+"""
+
+from .attribution import (
+    RequestAttribution,
+    attribute_requests,
+    attribution_report,
+    format_attribution_table,
+)
+from .chrome_trace import build_chrome_trace, export_chrome_trace
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracer import NULL_TRACER, NullTracer, TelemetryConfig, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TelemetryConfig",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "build_chrome_trace",
+    "export_chrome_trace",
+    "RequestAttribution",
+    "attribute_requests",
+    "attribution_report",
+    "format_attribution_table",
+]

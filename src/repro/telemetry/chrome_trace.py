@@ -1,0 +1,244 @@
+"""Chrome trace-event JSON export (viewable in Perfetto / chrome://tracing).
+
+Converts a :class:`~repro.telemetry.tracer.Tracer` buffer into the
+Trace Event Format: one process per layer (clients, scheduler, device),
+one thread-track per client for kernel execution plus companion tracks
+for software-queue residence and request spans, instant events for
+scheduler/guard/fault decisions, and counter tracks for queue depths
+and (optionally) device utilization segments.
+
+Serialization is canonical — op sequence numbers are renumbered by
+first appearance (the process-global counter is not stable across
+runs), timestamps are rounded to nanosecond resolution, and the JSON is
+dumped with sorted keys — so two same-seed runs export byte-identical
+traces.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from . import tracer as ev
+
+__all__ = ["build_chrome_trace", "export_chrome_trace"]
+
+# Process ids: one per layer of the stack.
+PID_CLIENTS = 1
+PID_SCHEDULER = 2
+PID_DEVICE = 3
+
+# Tracks per client on PID_CLIENTS (execution, queue residence, requests).
+_TRACKS_PER_CLIENT = 3
+
+
+def _us(t: float) -> float:
+    """Seconds -> microseconds at fixed nanosecond resolution."""
+    return round(t * 1e6, 3)
+
+
+def _client_name(client) -> str:
+    return client if client is not None else "(unattributed)"
+
+
+class _OpStamps:
+    __slots__ = ("client", "name", "is_kernel", "submit", "enqueue",
+                 "schedule", "dispatch", "complete", "stream", "solo", "ok")
+
+    def __init__(self):
+        self.client = None
+        self.name = None
+        self.is_kernel = False
+        self.submit = None
+        self.enqueue = None
+        self.schedule = None
+        self.dispatch = None
+        self.complete = None
+        self.stream = None
+        self.solo = None
+        self.ok = True
+
+
+def collect_ops(events) -> "Dict[int, _OpStamps]":
+    """Fold lifecycle events into per-op stamp records (keyed by the
+    raw op seq; insertion order is first-appearance order)."""
+    ops: Dict[int, _OpStamps] = {}
+
+    def get(seq) -> _OpStamps:
+        rec = ops.get(seq)
+        if rec is None:
+            rec = ops[seq] = _OpStamps()
+        return rec
+
+    for event in events:
+        kind = event[0]
+        if kind == ev.SUBMIT:
+            _, ts, client, seq, name, is_kernel = event
+            rec = get(seq)
+            rec.submit = ts
+            rec.client = _client_name(client)
+            rec.name = name
+            rec.is_kernel = is_kernel
+        elif kind == ev.ENQUEUE:
+            _, ts, client, seq, _depth = event
+            rec = get(seq)
+            rec.enqueue = ts
+            if rec.client is None:
+                rec.client = _client_name(client)
+        elif kind == ev.SCHEDULE:
+            _, ts, client, seq = event
+            rec = get(seq)
+            rec.schedule = ts
+            if rec.client is None:
+                rec.client = _client_name(client)
+        elif kind == ev.DISPATCH:
+            _, ts, client, seq, stream = event
+            rec = get(seq)
+            rec.dispatch = ts
+            rec.stream = stream
+            if rec.client is None:
+                rec.client = _client_name(client)
+        elif kind == ev.COMPLETE:
+            _, ts, client, seq, stream, solo, ok = event
+            rec = get(seq)
+            rec.complete = ts
+            rec.stream = stream
+            rec.solo = solo
+            rec.ok = ok
+            if rec.client is None:
+                rec.client = _client_name(client)
+    return ops
+
+
+def build_chrome_trace(
+    tracer,
+    utilization_segments: Optional[Sequence[Tuple]] = None,
+) -> dict:
+    """Trace Event Format payload as a plain dict.
+
+    ``utilization_segments`` (the device's piecewise-constant
+    ``(t0, t1, compute, memory, sm)`` records) adds compute/memory
+    counter tracks under the device process when provided.
+    """
+    events = list(tracer.iter_events())
+    ops = collect_ops(events)
+
+    # Deterministic track assignment: clients sorted by name.
+    clients = sorted({rec.client for rec in ops.values() if rec.client}
+                     | {_client_name(e[2]) for e in events if e[0] == ev.REQUEST})
+    client_tid = {c: _TRACKS_PER_CLIENT * i for i, c in enumerate(clients)}
+    instant_tracks = sorted({e[2] for e in events if e[0] == ev.INSTANT})
+    instant_tid = {t: i for i, t in enumerate(instant_tracks)}
+
+    out: List[dict] = []
+
+    def meta(pid: int, tid: Optional[int], name: str) -> None:
+        entry = {"ph": "M", "pid": pid, "tid": tid if tid is not None else 0,
+                 "ts": 0,
+                 "name": "process_name" if tid is None else "thread_name",
+                 "args": {"name": name}}
+        out.append(entry)
+
+    meta(PID_CLIENTS, None, "clients")
+    meta(PID_SCHEDULER, None, "scheduler")
+    meta(PID_DEVICE, None, "device")
+    for client in clients:
+        base = client_tid[client]
+        meta(PID_CLIENTS, base, client)
+        meta(PID_CLIENTS, base + 1, f"{client} queue")
+        meta(PID_CLIENTS, base + 2, f"{client} requests")
+    for track in instant_tracks:
+        meta(PID_SCHEDULER, instant_tid[track], track)
+
+    # Op sequence numbers renumbered by first appearance: the global
+    # counter they come from is process-wide, not per-run.
+    norm_seq = {seq: i for i, seq in enumerate(ops)}
+
+    for seq, rec in ops.items():
+        if rec.client is None:
+            continue
+        base = client_tid[rec.client]
+        # Software-queue residence (submit -> schedule).
+        if rec.submit is not None and rec.schedule is not None \
+                and rec.schedule > rec.submit:
+            out.append({
+                "ph": "X", "pid": PID_CLIENTS, "tid": base + 1,
+                "ts": _us(rec.submit),
+                "dur": round(_us(rec.schedule) - _us(rec.submit), 3),
+                "name": f"{rec.name} (queued)", "cat": "queue",
+                "args": {"op": norm_seq[seq]},
+            })
+        # Execution on the device (dispatch -> complete).
+        if rec.dispatch is not None and rec.complete is not None:
+            args = {"op": norm_seq[seq], "ok": rec.ok}
+            if rec.stream is not None:
+                args["stream"] = rec.stream
+            if rec.solo is not None:
+                args["solo_us"] = _us(rec.solo)
+            sched = rec.schedule if rec.schedule is not None else rec.submit
+            if sched is not None:
+                args["hw_queue_us"] = round(
+                    _us(rec.dispatch) - _us(sched), 3)
+            out.append({
+                "ph": "X", "pid": PID_CLIENTS, "tid": base,
+                "ts": _us(rec.dispatch),
+                "dur": round(_us(rec.complete) - _us(rec.dispatch), 3),
+                "name": rec.name or "op",
+                "cat": "kernel" if rec.is_kernel else "memory",
+                "args": args,
+            })
+
+    for event in events:
+        kind = event[0]
+        if kind == ev.INSTANT:
+            _, ts, track, name, args = event
+            out.append({
+                "ph": "i", "pid": PID_SCHEDULER, "tid": instant_tid[track],
+                "ts": _us(ts), "s": "t", "name": name, "cat": track,
+                "args": {k: v for k, v in args},
+            })
+        elif kind == ev.COUNTER:
+            _, ts, track, name, value = event
+            out.append({
+                "ph": "C", "pid": PID_DEVICE, "tid": 0,
+                "ts": _us(ts), "name": f"{track}.{name}",
+                "args": {"value": value},
+            })
+        elif kind == ev.REQUEST:
+            _, end, client, arrival, start = event
+            name = _client_name(client)
+            out.append({
+                "ph": "X", "pid": PID_CLIENTS,
+                "tid": client_tid[name] + 2,
+                "ts": _us(start), "dur": round(_us(end) - _us(start), 3),
+                "name": "request", "cat": "request",
+                "args": {"queue_wait_us": round(_us(start) - _us(arrival), 3)},
+            })
+
+    if utilization_segments:
+        for t0, _t1, compute, memory, _sm in utilization_segments:
+            ts = _us(t0)
+            out.append({"ph": "C", "pid": PID_DEVICE, "tid": 0, "ts": ts,
+                        "name": "util.compute",
+                        "args": {"value": round(compute, 6)}})
+            out.append({"ph": "C", "pid": PID_DEVICE, "tid": 0, "ts": ts,
+                        "name": "util.memory_bw",
+                        "args": {"value": round(memory, 6)}})
+
+    return {
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "tool": "repro.telemetry",
+            "dropped_events": tracer.dropped,
+        },
+        "traceEvents": out,
+    }
+
+
+def export_chrome_trace(
+    tracer,
+    utilization_segments: Optional[Sequence[Tuple]] = None,
+) -> str:
+    """Canonical Chrome trace JSON (byte-identical across same-seed runs)."""
+    payload = build_chrome_trace(tracer, utilization_segments)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,202 @@
+"""Low-overhead structured runtime tracer.
+
+The tracer records the lifecycle of every intercepted GPU operation —
+``submit → enqueue → schedule → dispatch → complete`` — plus instants
+for scheduler decisions (best-effort admit/block reasons, SLO-guard
+actuations, queue rejections, fault injections) and counter samples
+(queue depths).  Events are fixed-shape tuples appended to a bounded
+ring buffer; when the buffer fills, the oldest events are dropped and
+counted, so a tracer can stay attached to an arbitrarily long run with
+bounded memory.
+
+Overhead discipline (the nil-tracer fast path):
+
+* every instrumentation site guards with ``if tracer.enabled:`` — one
+  attribute load on the hot path when tracing is off;
+* the module-level :data:`NULL_TRACER` is the default everywhere; its
+  ``enabled`` is ``False`` and its record methods are argument-free
+  no-ops, so a disabled tracer allocates **no per-event objects** (the
+  overhead benchmark asserts this with ``tracemalloc``);
+* timestamps are simulated time — recording never reads a wall clock,
+  so tracing cannot perturb determinism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, Optional, Tuple
+
+__all__ = ["Tracer", "NullTracer", "NULL_TRACER", "TelemetryConfig"]
+
+# Event kind tags (slot 0 of every event tuple).
+SUBMIT = "submit"
+ENQUEUE = "enqueue"
+SCHEDULE = "schedule"
+DISPATCH = "dispatch"
+COMPLETE = "complete"
+INSTANT = "instant"
+COUNTER = "counter"
+REQUEST = "request"
+SIM_EVENT = "sim"
+
+
+class Tracer:
+    """Ring-buffered structured event recorder (enabled).
+
+    Events are plain tuples; their shapes (by kind tag):
+
+    * ``(SUBMIT,   ts, client, seq, name, is_kernel)``
+    * ``(ENQUEUE,  ts, client, seq, depth)``
+    * ``(SCHEDULE, ts, client, seq)``
+    * ``(DISPATCH, ts, client, seq, stream)``
+    * ``(COMPLETE, ts, client, seq, stream, solo_duration, ok)``
+    * ``(INSTANT,  ts, track, name, args)`` — args is a sorted tuple of
+      (key, value) pairs
+    * ``(COUNTER,  ts, track, name, value)``
+    * ``(REQUEST,  ts_end, client, arrival, start)``
+    * ``(SIM_EVENT, ts, label)``
+
+    ``seq`` is the op's global sequence number — unique within a
+    process but *not* stable across runs; exporters renumber by first
+    appearance so serialized traces are run-to-run reproducible.
+    """
+
+    enabled = True
+
+    def __init__(self, sim, capacity: int = 1 << 16):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.events: Deque[tuple] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def _append(self, event: tuple) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Op lifecycle
+    # ------------------------------------------------------------------
+    def op_submit(self, client, seq, name, is_kernel) -> None:
+        self._append((SUBMIT, self.sim.now, client, seq, name, is_kernel))
+
+    def op_enqueue(self, client, seq, depth) -> None:
+        self._append((ENQUEUE, self.sim.now, client, seq, depth))
+
+    def op_schedule(self, client, seq) -> None:
+        self._append((SCHEDULE, self.sim.now, client, seq))
+
+    def op_dispatch(self, client, seq, stream) -> None:
+        self._append((DISPATCH, self.sim.now, client, seq, stream))
+
+    def op_complete(self, client, seq, stream, solo_duration, ok) -> None:
+        self._append((COMPLETE, self.sim.now, client, seq, stream,
+                      solo_duration, ok))
+
+    # ------------------------------------------------------------------
+    # Instants, counters, spans
+    # ------------------------------------------------------------------
+    def instant(self, track, name, **args) -> None:
+        """Point event on a named track (scheduler decisions, guard
+        actuations, faults).  ``args`` become the Chrome-trace args."""
+        self._append((INSTANT, self.sim.now, track, name,
+                      tuple(sorted(args.items()))))
+
+    def counter(self, track, name, value) -> None:
+        self._append((COUNTER, self.sim.now, track, name, value))
+
+    def request(self, client, arrival, start) -> None:
+        """One completed request/iteration: recorded at completion time
+        with its arrival and service-start stamps."""
+        self._append((REQUEST, self.sim.now, client, arrival, start))
+
+    def sim_event(self, label) -> None:
+        """One executed calendar event (engine tracing; high volume)."""
+        self._append((SIM_EVENT, self.sim.now, label))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def iter_events(self, kind: Optional[str] = None) -> Iterator[tuple]:
+        if kind is None:
+            return iter(self.events)
+        return (e for e in self.events if e[0] == kind)
+
+
+class NullTracer:
+    """Disabled tracer: the default on every instrumented object.
+
+    Hot paths never reach these methods (they guard on ``enabled``
+    first), but each is a genuine no-op with explicit parameters — no
+    ``*args`` packing — so even an unguarded call allocates nothing.
+    """
+
+    enabled = False
+    events: Tuple = ()
+    dropped = 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def op_submit(self, client, seq, name, is_kernel) -> None:
+        return None
+
+    def op_enqueue(self, client, seq, depth) -> None:
+        return None
+
+    def op_schedule(self, client, seq) -> None:
+        return None
+
+    def op_dispatch(self, client, seq, stream) -> None:
+        return None
+
+    def op_complete(self, client, seq, stream, solo_duration, ok) -> None:
+        return None
+
+    def instant(self, track, name, **args) -> None:
+        return None
+
+    def counter(self, track, name, value) -> None:
+        return None
+
+    def request(self, client, arrival, start) -> None:
+        return None
+
+    def sim_event(self, label) -> None:
+        return None
+
+    def iter_events(self, kind: Optional[str] = None) -> Iterator[tuple]:
+        return iter(())
+
+
+#: Shared disabled tracer; assigning it costs nothing and makes every
+#: instrumentation site unconditionally safe.
+NULL_TRACER = NullTracer()
+
+
+@dataclass
+class TelemetryConfig:
+    """Switchboard for a run's telemetry.
+
+    ``tracing`` turns the structured tracer on (off by default: the
+    nil-tracer fast path).  ``capacity`` bounds the ring buffer.
+    ``engine_events`` additionally records one event per executed
+    simulator calendar entry — very high volume, for deep debugging
+    only.
+    """
+
+    tracing: bool = False
+    capacity: int = 1 << 16
+    engine_events: bool = False
+
+    def build_tracer(self, sim):
+        """A :class:`Tracer` when tracing is on, else :data:`NULL_TRACER`."""
+        if self.tracing:
+            return Tracer(sim, capacity=self.capacity)
+        return NULL_TRACER

@@ -253,6 +253,8 @@ class InferenceClient(_BaseClient):
                 self._record_failed()
                 return
             self.stats.records.append(RequestRecord(arrival, start, self.sim.now))
+            if self.ctx.tracer.enabled:
+                self.ctx.tracer.request(self.ctx.client_id, arrival, start)
             self._record_served()
             if closed and self.sim.now >= self.horizon:
                 return
@@ -312,6 +314,8 @@ class TrainingClient(_BaseClient):
                 self._record_failed()
                 return
             self.stats.records.append(RequestRecord(start, start, self.sim.now))
+            if self.ctx.tracer.enabled:
+                self.ctx.tracer.request(self.ctx.client_id, start, start)
             self._record_served()
 
     def _launch(self, op):
