@@ -22,7 +22,13 @@ What happens:
    yields byte-identical JSON.
 """
 
-from repro.faults import FaultPlan, KillClient, run_fault_scenario
+from repro.experiments.scenario import Scenario, run
+from repro.faults import FaultPlan, KillClient
+
+
+def run_fault_scenario(**params):
+    return run(Scenario(kind="faults", params=params)).result
+
 
 DURATION = 0.2
 SEED = 0

@@ -27,7 +27,12 @@ What happens:
    yield byte-identical ledgers.
 """
 
-from repro.experiments.overload import run_overload_scenario
+from repro.experiments.scenario import Scenario, run
+
+
+def run_overload_scenario(**params):
+    return run(Scenario(kind="overload", params=params)).result
+
 
 DURATION = 1.2
 WARMUP = 0.4

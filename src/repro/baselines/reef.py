@@ -23,7 +23,14 @@ from typing import Dict, List, Optional
 from repro.gpu.device import GpuDevice
 from repro.gpu.errors import CudaError, CudaErrorCode
 from repro.kernels.kernel import KernelOp, MemoryOp
-from repro.runtime.backend import Backend, ClientInfo, Op, SoftwareQueue
+from repro.runtime.backend import (
+    Backend,
+    BackendOptions,
+    ClientInfo,
+    Op,
+    SoftwareQueue,
+    UnknownClientError,
+)
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal, spawn
 
@@ -48,8 +55,9 @@ class ReefBackend(Backend):
 
     def __init__(self, sim: Simulator, device: GpuDevice,
                  queue_size: int = REEF_QUEUE_SIZE,
-                 be_queue_depth: Optional[int] = None):
-        super().__init__(sim)
+                 be_queue_depth: Optional[int] = None,
+                 options: Optional[BackendOptions] = None):
+        super().__init__(sim, options)
         if queue_size < 1:
             raise ValueError("queue_size must be >= 1")
         if be_queue_depth is not None and be_queue_depth < 1:
@@ -69,6 +77,7 @@ class ReefBackend(Backend):
         self._wake = Signal(sim)
         self._started = False
         self.be_kernels_launched = 0
+        self.set_telemetry()
 
     def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
         info = self._register(client_id, high_priority, kind)
@@ -94,7 +103,10 @@ class ReefBackend(Backend):
             spawn(self.sim, self._run_scheduler(), "reef-scheduler")
 
     def submit(self, client_id: str, op: Op) -> Signal:
-        info = self.client_info(client_id)
+        # Hot path: direct dict lookup (client_info adds a call frame).
+        info = self.clients.get(client_id)
+        if info is None:
+            raise UnknownClientError(client_id, self.name)
         if info.high_priority:
             done = self._hp_queue.push(op)
         elif isinstance(op, MemoryOp):

@@ -11,7 +11,10 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.gpu.device import GpuDevice
+from repro.runtime.backend import BackendOptions
 from repro.runtime.direct import DirectStreamBackend
 from repro.sim.engine import Simulator
 
@@ -24,8 +27,9 @@ class StreamsBackend(DirectStreamBackend):
     name = "streams"
     process_per_client = False
 
-    def __init__(self, sim: Simulator, device: GpuDevice):
-        super().__init__(sim, device, use_priorities=False)
+    def __init__(self, sim: Simulator, device: GpuDevice,
+                 options: Optional[BackendOptions] = None):
+        super().__init__(sim, device, use_priorities=False, options=options)
 
 
 class PriorityStreamsBackend(DirectStreamBackend):
@@ -34,8 +38,9 @@ class PriorityStreamsBackend(DirectStreamBackend):
     name = "priority-streams"
     process_per_client = False
 
-    def __init__(self, sim: Simulator, device: GpuDevice):
-        super().__init__(sim, device, use_priorities=True)
+    def __init__(self, sim: Simulator, device: GpuDevice,
+                 options: Optional[BackendOptions] = None):
+        super().__init__(sim, device, use_priorities=True, options=options)
 
 
 class MpsBackend(DirectStreamBackend):
@@ -49,5 +54,6 @@ class MpsBackend(DirectStreamBackend):
     name = "mps"
     process_per_client = True
 
-    def __init__(self, sim: Simulator, device: GpuDevice):
-        super().__init__(sim, device, use_priorities=False)
+    def __init__(self, sim: Simulator, device: GpuDevice,
+                 options: Optional[BackendOptions] = None):
+        super().__init__(sim, device, use_priorities=False, options=options)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.gpu.device import GpuDevice
-from repro.runtime.backend import Backend, ClientInfo, Op
+from repro.runtime.backend import Backend, BackendOptions, ClientInfo, Op
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal
 
@@ -31,8 +31,9 @@ class TickTockBackend(Backend):
 
     name = "ticktock"
 
-    def __init__(self, sim: Simulator, device: GpuDevice):
-        super().__init__(sim)
+    def __init__(self, sim: Simulator, device: GpuDevice,
+                 options: Optional[BackendOptions] = None):
+        super().__init__(sim, options)
         self.device = device
         self._streams: Dict[str, object] = {}
         self._waiting: Dict[str, Signal] = {}
@@ -41,6 +42,7 @@ class TickTockBackend(Backend):
         # op queues; its "queue" is the phase barrier).  Instruments
         # live on the MetricsRegistry; cached per client.
         self._waits: Dict[str, tuple] = {}
+        self.set_telemetry()
 
     def _wait_instruments(self, client_id: str) -> tuple:
         inst = self._waits.get(client_id)

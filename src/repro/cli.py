@@ -4,10 +4,14 @@
     python -m repro inf-train  --hp resnet50 --be mobilenet_v2 --backend orion
     python -m repro train-train --hp resnet50 --be mobilenet_v2 --backend reef
     python -m repro inf-inf    --hp resnet101 --be resnet50 --arrivals apollo
+    python -m repro sweep      --scenarios overload_ref --seeds 0,1,2,3
+    python -m repro bench      --smoke
     python -m repro profile    --model bert --kind inference
 
-Prints the per-job latency/throughput summary as a table; ``--json``
-emits machine-readable results instead.
+Every run subcommand builds a :class:`repro.experiments.scenario.Scenario`
+and executes it through the one ``run(scenario)`` entry point.  Prints
+the per-job latency/throughput summary as a table; ``--json`` emits
+machine-readable results instead.
 """
 
 from __future__ import annotations
@@ -21,7 +25,8 @@ from repro.experiments.registry import (
     inf_train_config,
     train_train_config,
 )
-from repro.experiments.runner import get_profile, run_experiment
+from repro.experiments.runner import get_profile
+from repro.experiments.scenario import Scenario, run as run_scenario
 from repro.experiments.tables import format_table
 from repro.gpu.specs import DEVICES, get_device
 from repro.workloads.models import MODEL_NAMES
@@ -154,6 +159,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also record every simulator calendar event "
                         "(very high volume)")
 
+    p = sub.add_parser("sweep",
+                       help="run a scenario x seed grid across worker "
+                            "processes; emit the merged canonical JSON")
+    p.add_argument("--scenarios",
+                   default="overload_ref,inf_train_ref,train_train_ref",
+                   help="comma-separated scenario names from the catalog "
+                        "(see repro.experiments.registry.scenario_names)")
+    p.add_argument("--seeds", default="0,1,2,3",
+                   help="comma-separated seeds (default 0,1,2,3)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (default 1; results are "
+                        "byte-identical at any worker count)")
+    p.add_argument("--out", default=None,
+                   help="write the merged canonical JSON here "
+                        "(default: stdout)")
+
+    p = sub.add_parser("bench",
+                       help="time the reference scenarios vs the pinned "
+                            "baseline; write BENCH_sim.json")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI mode: one repeat, nonzero exit on a "
+                        ">25%% ops/sec regression vs the baseline")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats per scenario, best-of (default 3)")
+    p.add_argument("--out", default=None,
+                   help="report path (default: BENCH_sim.json at repo root)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline path (default: "
+                        "benchmarks/baselines/bench_baseline.json)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="re-pin the committed baseline to this run")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report JSON")
+
     p = sub.add_parser("profile", help="offline-profile one workload (§5.2)")
     p.add_argument("--model", required=True, choices=MODEL_NAMES)
     p.add_argument("--kind", default="inference",
@@ -164,25 +203,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _experiment_config(args):
+def _experiment_scenario(args) -> Scenario:
     if args.command == "inf-train":
-        return inf_train_config(args.hp, args.be, args.backend,
-                                arrivals=args.arrivals,
-                                duration=args.duration, seed=args.seed,
-                                device=args.device)
-    if args.command == "train-train":
+        config = inf_train_config(args.hp, args.be, args.backend,
+                                  arrivals=args.arrivals,
+                                  duration=args.duration, seed=args.seed,
+                                  device=args.device)
+    elif args.command == "train-train":
         orion = {}
         if args.sm_threshold is not None:
             orion["sm_threshold"] = args.sm_threshold
-        return train_train_config(args.hp, args.be, args.backend,
-                                  duration=args.duration, seed=args.seed,
-                                  device=args.device, orion=orion)
-    if args.command == "inf-inf":
-        return inf_inf_config(args.hp, args.be, args.backend,
-                              arrivals=args.arrivals,
-                              duration=args.duration, seed=args.seed,
-                              device=args.device)
-    raise ValueError(f"unhandled command {args.command!r}")
+        config = train_train_config(args.hp, args.be, args.backend,
+                                    duration=args.duration, seed=args.seed,
+                                    device=args.device, orion=orion)
+    elif args.command == "inf-inf":
+        config = inf_inf_config(args.hp, args.be, args.backend,
+                                arrivals=args.arrivals,
+                                duration=args.duration, seed=args.seed,
+                                device=args.device)
+    else:
+        raise ValueError(f"unhandled command {args.command!r}")
+    return Scenario(kind="experiment", name=args.command, experiment=config)
 
 
 def _print_experiment(result, as_json: bool) -> None:
@@ -215,7 +256,7 @@ def _print_experiment(result, as_json: bool) -> None:
 
 
 def _run_faults(args) -> None:
-    from repro.faults import FaultPlan, KillClient, run_fault_scenario
+    from repro.faults import FaultPlan, KillClient
 
     plan = FaultPlan(())
     if args.kill != "none":
@@ -227,12 +268,13 @@ def _run_faults(args) -> None:
         kill_at = args.kill_at if args.kill_at is not None \
             else args.duration * 0.4
         plan = FaultPlan((KillClient(args.kill, at_time=kill_at),))
-    result = run_fault_scenario(
+    scenario = Scenario(kind="faults", name="faults", params=dict(
         seed=args.seed, duration=args.duration, plan=plan,
         backend=args.backend, be_clients=args.be_clients,
         model=args.model, device=args.device,
         watchdog_multiple=args.watchdog,
-    )
+    ))
+    result = run_scenario(scenario).result
     if args.json:
         print(result.ledger.to_json())
         return
@@ -250,16 +292,15 @@ def _run_faults(args) -> None:
 
 
 def _run_overload(args) -> None:
-    from repro.experiments.overload import run_overload_scenario
-
-    result = run_overload_scenario(
+    scenario = Scenario(kind="overload", name="overload", params=dict(
         seed=args.seed, duration=args.duration, model=args.model,
         device=args.device, be_clients=args.be_clients,
         hp_load=args.hp_load, be_load=args.be_load, arrivals=args.arrivals,
         deadline_mult=args.deadline_mult or None, slo_mult=args.slo_mult,
         guard=not args.no_guard, queue_depth=args.queue_depth or None,
         policy=args.policy,
-    )
+    ))
+    result = run_scenario(scenario).result
     if args.json:
         payload = {
             "capacity_rps": result.capacity,
@@ -314,14 +355,10 @@ def _run_trace(args) -> None:
     tcfg = TelemetryConfig(tracing=True, capacity=args.capacity,
                            engine_events=args.engine_events)
     if args.scenario == "overload":
-        from repro.experiments.overload import run_overload_scenario
-
-        result = run_overload_scenario(
-            seed=args.seed, duration=args.duration, device=args.device,
-            telemetry=tcfg,
-        )
-        tracer, metrics = result.tracer, result.metrics
-        segments = result.utilization_segments
+        scenario = Scenario(kind="overload", name="trace:overload",
+                            params=dict(seed=args.seed,
+                                        duration=args.duration,
+                                        device=args.device, telemetry=tcfg))
     else:
         import dataclasses
 
@@ -336,9 +373,11 @@ def _run_trace(args) -> None:
             config, duration=args.duration,
             warmup=min(config.warmup, args.duration / 4),
             telemetry=tcfg, record_utilization=True)
-        result = run_experiment(config)
-        tracer, metrics = result.tracer, result.metrics
-        segments = result.utilization_segments
+        scenario = Scenario(kind="experiment",
+                            name=f"trace:{args.scenario}", experiment=config)
+    result = run_scenario(scenario).result
+    tracer, metrics = result.tracer, result.metrics
+    segments = result.utilization_segments
     with open(args.out, "w") as fh:
         fh.write(export_chrome_trace(tracer, utilization_segments=segments))
     print(f"wrote {args.out}  ({len(tracer)} events, "
@@ -356,6 +395,55 @@ def _run_trace(args) -> None:
     if table.count("\n"):
         print("\nlatency attribution (per client):")
         print(table)
+
+
+def _run_sweep(args) -> None:
+    from repro.experiments.registry import scenario_names
+    from repro.experiments.sweep import run_sweep, sweep_to_json
+
+    scenarios = [s for s in args.scenarios.split(",") if s]
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+    known = scenario_names()
+    for name in scenarios:
+        if name not in known:
+            raise SystemExit(f"error: unknown scenario {name!r} "
+                             f"(choose from {', '.join(known)})")
+    report = run_sweep(scenarios, seeds, workers=args.workers)
+    payload = sweep_to_json(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(payload)
+        grid = report["grid"]
+        print(f"wrote {args.out}  ({grid['cells']} cells, "
+              f"{grid['failed']} failed, workers={args.workers})")
+    else:
+        print(payload)
+
+
+def _run_bench(args) -> int:
+    from repro.bench import run_bench
+
+    report = run_bench(repeats=args.repeats, smoke=args.smoke,
+                       baseline_path=args.baseline, out_path=args.out,
+                       update_baseline=args.update_baseline)
+    if args.json:
+        print(json.dumps(report, indent=1, sort_keys=True))
+    else:
+        for name, entry in report["scenarios"].items():
+            line = (f"{name}: {entry['ops_per_sec']:,.0f} ops/s  "
+                    f"({entry['events']} events in {entry['wall_s']:.2f}s)")
+            if "speedup" in entry:
+                line += f"  {entry['speedup']:.2f}x vs baseline"
+            print(line)
+        if not report["baseline_found"]:
+            print(f"no baseline at {report['baseline_path']} — "
+                  "comparison skipped")
+    if report["regressions"]:
+        print(f"REGRESSION (> {report['regression_tolerance']:.0%} below "
+              f"baseline): {', '.join(report['regressions'])}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_profile(args) -> None:
@@ -389,7 +477,12 @@ def main(argv=None) -> int:
     if args.command == "trace":
         _run_trace(args)
         return 0
-    result = run_experiment(_experiment_config(args))
+    if args.command == "sweep":
+        _run_sweep(args)
+        return 0
+    if args.command == "bench":
+        return _run_bench(args)
+    result = run_scenario(_experiment_scenario(args)).result
     _print_experiment(result, args.json)
     return 0
 

@@ -31,6 +31,7 @@ from repro.kernels.kernel import KernelOp, MemoryOp, ResourceProfile
 from repro.profiler.profiles import KernelProfile, ProfileStore
 from repro.runtime.backend import (
     Backend,
+    BackendOptions,
     ClientInfo,
     Op,
     SoftwareQueue,
@@ -39,7 +40,7 @@ from repro.runtime.backend import (
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal, Timeout, spawn
 
-from .policy import PolicyConfig, duration_throttled, schedule_be
+from .policy import PolicyConfig, have_different_profiles
 
 __all__ = ["OrionBackend", "OrionConfig", "OVERLOAD_POLICIES"]
 
@@ -136,8 +137,9 @@ class OrionBackend(Backend):
         device: GpuDevice,
         profiles: ProfileStore,
         config: Optional[OrionConfig] = None,
+        options: Optional[BackendOptions] = None,
     ):
-        super().__init__(sim)
+        super().__init__(sim, options)
         self.device = device
         self.profiles = profiles
         self.config = config or OrionConfig()
@@ -175,6 +177,7 @@ class OrionBackend(Backend):
         self.watchdog_flags: List[dict] = []
         self._watchdog_seen: set = set()
         self._watchdog_wake = Signal(sim)
+        self.set_telemetry()
 
     # ------------------------------------------------------------------
     # Backend interface
@@ -196,8 +199,12 @@ class OrionBackend(Backend):
             queue = self._new_queue(client_id,
                                     max_depth=self.config.be_queue_depth,
                                     high_water=self.config.be_queue_high_water)
-            state = _BeClientState(queue, stream,
-                                   policy=self.config.overload_policy)
+            policy = self.options.overload_policies.get(
+                client_id, self.config.overload_policy)
+            if policy not in OVERLOAD_POLICIES:
+                raise ValueError(f"policy must be one of {OVERLOAD_POLICIES}, "
+                                 f"got {policy!r}")
+            state = _BeClientState(queue, stream, policy=policy)
             self._be[client_id] = state
             self._be_order.append(client_id)
         return info
@@ -224,7 +231,10 @@ class OrionBackend(Backend):
                 spawn(self.sim, self._run_watchdog(), "orion-watchdog")
 
     def submit(self, client_id: str, op: Op) -> Signal:
-        info = self.client_info(client_id)
+        # Hot path: direct dict lookup (client_info adds a call frame).
+        info = self.clients.get(client_id)
+        if info is None:
+            raise UnknownClientError(client_id, self.name)
         if isinstance(op, MemoryOp):
             # With PCIe management on, best-effort transfers go through
             # the software queue so the scheduler can keep the bus clear
@@ -547,19 +557,34 @@ class OrionBackend(Backend):
         # this client's recorded CUDA event shows its pipeline drained.
         if state.outstanding > 0 and state.event.query():
             state.outstanding = 0.0
-        if duration_throttled(state.outstanding, self.hp_request_latency,
-                              self.config,
-                              candidate_duration=be_profile.duration,
-                              hp_task_running=self.hp_task_running):
-            self.be_kernels_deferred += 1
-            self._trace_be_block(client_id, "dur_threshold")
-            return False
-        hp_profile = self._current_hp_profile()
-        if not schedule_be(self.hp_task_running, hp_profile, be_profile,
-                           self.sm_threshold, self.config):
-            self.be_kernels_deferred += 1
-            self._trace_be_block(client_id, "policy")
-            return False
+        # The policy rules below are policy.duration_throttled and
+        # policy.schedule_be inlined (decision-for-decision): this is the
+        # scheduler's hottest function and the call/kwarg overhead of the
+        # pure-function forms is measurable.  hp_task_running walks the
+        # HP queue/stream; nothing between the checks mutates it, so
+        # evaluate once.
+        config = self.config
+        hp_running = self.hp_task_running
+        if config.use_dur_throttle:
+            budget = config.dur_threshold_frac * self.hp_request_latency
+            if state.outstanding > budget or (
+                    hp_running and be_profile.duration > budget):
+                self.be_kernels_deferred += 1
+                self._trace_be_block(client_id, "dur_threshold")
+                return False
+        if hp_running:
+            admit = True
+            if config.use_sm_limit:
+                admit = be_profile.sm_needed < self.sm_threshold
+            if admit and config.use_profiles:
+                hp_profile = self._current_hp_profile()
+                current = hp_profile if hp_profile is not None \
+                    else ResourceProfile.UNKNOWN
+                admit = have_different_profiles(current, be_profile.profile)
+            if not admit:
+                self.be_kernels_deferred += 1
+                self._trace_be_block(client_id, "policy")
+                return False
         op, done = state.queue.pop()
         if self.tracer.enabled:
             self.tracer.instant("scheduler", "be_admit", client=client_id,

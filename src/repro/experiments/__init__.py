@@ -9,6 +9,7 @@ from .registry import (
     train_train_config,
 )
 from .overload import OverloadResult, run_overload_scenario
+from .registry import SCENARIOS, make_scenario, scenario_names
 from .runner import (
     ExperimentResult,
     JobResult,
@@ -17,11 +18,22 @@ from .runner import (
     solo_latency_summary,
     solo_throughput,
 )
+from .scenario import Scenario, ScenarioResult
+from .scenario import run as run_scenario
+from .sweep import run_sweep, sweep_to_json
 from .tables import format_series, format_table, ratio
 
 __all__ = [
     "ExperimentConfig",
     "JobSpec",
+    "Scenario",
+    "ScenarioResult",
+    "run_scenario",
+    "SCENARIOS",
+    "make_scenario",
+    "scenario_names",
+    "run_sweep",
+    "sweep_to_json",
     "run_experiment",
     "ExperimentResult",
     "JobResult",

@@ -23,6 +23,7 @@ Fully deterministic under (seed, arguments).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -66,6 +67,9 @@ class OverloadResult:
     tracer: object = NULL_TRACER
     metrics: Optional[MetricsRegistry] = None
     utilization_segments: List = field(default_factory=list)
+    # Uniform run accounting for the Scenario API (bench/sweep).
+    events_processed: int = 0
+    sim_time: float = 0.0
 
     @property
     def hp_stats(self) -> ClientStats:
@@ -85,6 +89,47 @@ class OverloadResult:
 
 
 def run_overload_scenario(
+    seed: int = 0,
+    duration: float = 0.4,
+    model: str = "mobilenet_v2",
+    device: str = "V100-16GB",
+    be_clients: int = 2,
+    hp_load: float = 0.3,
+    be_load: float = 2.0,
+    arrivals: str = "poisson",
+    deadline_mult: Optional[float] = 20.0,
+    slo_mult: float = 1.2,
+    guard: bool = True,
+    queue_depth: Optional[int] = 32,
+    policy: str = "block",
+    initial_dur_frac: float = 0.35,
+    warmup: float = 0.0,
+    telemetry: Optional[TelemetryConfig] = None,
+) -> OverloadResult:
+    """Deprecated shim: build a Scenario and call ``scenario.run`` instead.
+
+    Kept for back-compat; delegates to the unified Scenario API and
+    returns the same :class:`OverloadResult` it always did.
+    """
+    warnings.warn(
+        "run_overload_scenario() is deprecated; use "
+        "repro.experiments.scenario.run(Scenario(kind='overload', "
+        "params={...})) instead",
+        DeprecationWarning, stacklevel=2)
+    from .scenario import Scenario, run as run_scenario
+
+    params = dict(
+        seed=seed, duration=duration, model=model, device=device,
+        be_clients=be_clients, hp_load=hp_load, be_load=be_load,
+        arrivals=arrivals, deadline_mult=deadline_mult, slo_mult=slo_mult,
+        guard=guard, queue_depth=queue_depth, policy=policy,
+        initial_dur_frac=initial_dur_frac, warmup=warmup,
+        telemetry=telemetry,
+    )
+    return run_scenario(Scenario(kind="overload", params=params)).result
+
+
+def _run_overload_scenario(
     seed: int = 0,
     duration: float = 0.4,
     model: str = "mobilenet_v2",
@@ -218,4 +263,6 @@ def run_overload_scenario(
         tracer=tracer,
         metrics=backend.metrics,
         utilization_segments=list(gpu.utilization_segments),
+        events_processed=sim.events_processed,
+        sim_time=sim.now,
     )

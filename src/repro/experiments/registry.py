@@ -1,17 +1,24 @@
-"""Experiment catalog: config builders for every paper scenario.
+"""Experiment catalog: config builders and the named-scenario registry.
 
-Each builder returns an :class:`ExperimentConfig` for one (workload
-pair, backend) cell of a figure.  Rates come from Table 3; batch sizes
-from Table 1 (via the model zoo defaults).
+Each config builder returns an :class:`ExperimentConfig` for one
+(workload pair, backend) cell of a figure.  Rates come from Table 3;
+batch sizes from Table 1 (via the model zoo defaults).
+
+The bottom half of the module is the named-:class:`Scenario` catalog:
+``make_scenario(name, seed=..., duration=..., **overrides)`` builds a
+complete scenario description the CLI, the sweep engine, and the bench
+harness all share.  Names ending in ``_ref`` are the pinned benchmark
+references (fixed workloads and horizons, see DESIGN.md §6.4).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.workloads.rates import rps_for
 
 from .config import ExperimentConfig, JobSpec
+from .scenario import Scenario
 
 __all__ = [
     "inf_train_config",
@@ -19,6 +26,9 @@ __all__ = [
     "inf_inf_config",
     "multi_client_config",
     "solo_inference_config",
+    "SCENARIOS",
+    "make_scenario",
+    "scenario_names",
 ]
 
 DEFAULT_DURATION = 4.0
@@ -104,3 +114,87 @@ def solo_inference_config(model: str, rps: Optional[float] = None,
                   rps=rps if rps is not None else 0.0)
     return ExperimentConfig(jobs=[job], backend="ideal", duration=duration,
                             warmup=DEFAULT_WARMUP, seed=seed, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Named-scenario catalog (the Scenario API's registry).
+
+def _experiment_scenario(name: str, maker: Callable,
+                         defaults: Dict) -> Callable[..., Scenario]:
+    def build(seed: int = 0, duration: Optional[float] = None,
+              **overrides) -> Scenario:
+        kwargs = dict(defaults)
+        kwargs.update(overrides)
+        hp = kwargs.pop("hp")
+        be = kwargs.pop("be")
+        backend = kwargs.pop("backend")
+        if duration is not None:
+            kwargs["duration"] = duration
+        config = maker(hp, be, backend, seed=seed, **kwargs)
+        return Scenario(kind="experiment", name=name, experiment=config)
+
+    return build
+
+
+def _params_scenario(name: str, kind: str,
+                     defaults: Dict) -> Callable[..., Scenario]:
+    def build(seed: int = 0, duration: Optional[float] = None,
+              **overrides) -> Scenario:
+        params = dict(defaults)
+        params.update(overrides)
+        params["seed"] = seed
+        if duration is not None:
+            params["duration"] = duration
+        return Scenario(kind=kind, name=name, params=params)
+
+    return build
+
+
+#: name -> builder(seed=..., duration=..., **overrides) -> Scenario.
+#: The ``*_ref`` entries are the benchmark references: their workloads
+#: and horizons are pinned so ops/sec numbers stay comparable across
+#: commits (DESIGN.md §6.4).
+SCENARIOS: Dict[str, Callable[..., Scenario]] = {
+    "inf-train": _experiment_scenario(
+        "inf-train", inf_train_config,
+        {"hp": "resnet50", "be": "mobilenet_v2", "backend": "orion"}),
+    "train-train": _experiment_scenario(
+        "train-train", train_train_config,
+        {"hp": "resnet50", "be": "mobilenet_v2", "backend": "orion"}),
+    "inf-inf": _experiment_scenario(
+        "inf-inf", inf_inf_config,
+        {"hp": "resnet101", "be": "resnet50", "backend": "orion"}),
+    "overload": _params_scenario("overload", "overload", {}),
+    "faults": _params_scenario("faults", "faults", {}),
+    # Benchmark references (pinned workloads/horizons).
+    "overload_ref": _params_scenario(
+        "overload_ref", "overload", {"duration": 0.4}),
+    "inf_train_ref": _experiment_scenario(
+        "inf_train_ref", inf_train_config,
+        {"hp": "resnet50", "be": "mobilenet_v2", "backend": "orion",
+         "duration": 0.6}),
+    "train_train_ref": _experiment_scenario(
+        "train_train_ref", train_train_config,
+        {"hp": "resnet50", "be": "mobilenet_v2", "backend": "orion",
+         "duration": 0.6}),
+}
+
+
+def make_scenario(name: str, seed: int = 0,
+                  duration: Optional[float] = None, **overrides) -> Scenario:
+    """Build a named :class:`Scenario`, applying per-call overrides.
+
+    ``seed``/``duration`` apply uniformly to every scenario family;
+    remaining keyword overrides go to the family's config surface
+    (``ExperimentConfig`` builder kwargs for experiment scenarios,
+    implementation kwargs for overload/faults scenarios).
+    """
+    builder = SCENARIOS.get(name)
+    if builder is None:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"known: {', '.join(sorted(SCENARIOS))}")
+    return builder(seed=seed, duration=duration, **overrides)
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))

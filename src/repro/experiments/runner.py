@@ -9,6 +9,7 @@ profile files.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -91,6 +92,9 @@ class ExperimentResult:
     # and the backend's metrics registry.
     tracer: object = NULL_TRACER
     metrics: Optional[MetricsRegistry] = None
+    # Uniform run accounting for the Scenario API (bench/sweep).
+    events_processed: int = 0
+    sim_time: float = 0.0
 
     @property
     def hp_job(self) -> JobResult:
@@ -154,6 +158,22 @@ def _make_arrivals(job: JobSpec, config: ExperimentConfig, rng_factory: RngFacto
 
 
 def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Deprecated shim: build a Scenario and call ``scenario.run`` instead.
+
+    Kept for back-compat; delegates to the unified Scenario API and
+    returns the same :class:`ExperimentResult` it always did.
+    """
+    warnings.warn(
+        "run_experiment() is deprecated; use "
+        "repro.experiments.scenario.run(Scenario(kind='experiment', "
+        "experiment=config)) instead",
+        DeprecationWarning, stacklevel=2)
+    from .scenario import Scenario, run as run_scenario
+
+    return run_scenario(Scenario(kind="experiment", experiment=config)).result
+
+
+def _run_experiment(config: ExperimentConfig) -> ExperimentResult:
     """Run one collocation experiment end to end."""
     sim = Simulator()
     device_spec = get_device(config.device)
@@ -215,7 +235,9 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
                                    client.stats)
 
     result = ExperimentResult(config=config, jobs=jobs, tracer=tracer,
-                              metrics=backend.metrics)
+                              metrics=backend.metrics,
+                              events_processed=sim.events_processed,
+                              sim_time=sim.now)
     if config.record_utilization:
         segments = []
         for device in backend.devices():

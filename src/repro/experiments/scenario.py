@@ -1,0 +1,259 @@
+"""Unified Scenario API: one description, one entry point, one result.
+
+Historically each scenario family grew its own entry point with its own
+keyword surface: ``run_experiment(ExperimentConfig)`` for collocation
+experiments, ``run_overload_scenario(**kwargs)`` for the overload-
+protection demo, ``run_fault_scenario(**kwargs)`` for fault injection,
+plus ad-hoc keyword plumbing in the trace CLI.  A :class:`Scenario`
+subsumes all of them: ``kind`` selects the family, ``experiment``
+carries the full :class:`~repro.experiments.config.ExperimentConfig`
+for collocation runs, and ``params`` carries the keyword surface of the
+overload/faults scenarios verbatim.
+
+``run(scenario)`` executes any of them and returns a
+:class:`ScenarioResult` wrapping the family-specific result object plus
+uniform accounting (simulator events processed, simulated seconds,
+wall-clock seconds).  ``ScenarioResult.canonical()`` renders the
+deterministic subset — everything except wall-clock — as plain data, so
+equal (scenario, seed) cells produce byte-identical JSON no matter
+where or in which process they ran: the property the sweep engine's
+merge step relies on, and the contract the deprecation-shim tests
+assert.
+
+Named scenarios (the catalog the CLI, sweep, and bench share) live in
+:mod:`repro.experiments.registry` as ``make_scenario(name, ...)``.
+The legacy entry points survive as thin shims that emit a
+``DeprecationWarning`` and delegate here; see DESIGN.md §6.4.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from .config import ExperimentConfig
+
+__all__ = ["Scenario", "ScenarioResult", "run", "SCENARIO_KINDS"]
+
+SCENARIO_KINDS = ("experiment", "overload", "faults")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, self-contained description of one simulation run.
+
+    ``kind``
+        Scenario family: ``"experiment"`` (collocation experiment),
+        ``"overload"`` (overload-protection scenario), or ``"faults"``
+        (fault-injection scenario).
+    ``name``
+        Display/registry name; defaults to ``kind``.
+    ``experiment``
+        The :class:`ExperimentConfig` payload — required for (and
+        exclusive to) ``kind="experiment"``.
+    ``params``
+        Keyword arguments for the overload/faults implementations,
+        passed through verbatim; unknown keys fail exactly as they
+        would on the legacy entry points.
+    """
+
+    kind: str
+    name: str = ""
+    experiment: Optional[ExperimentConfig] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in SCENARIO_KINDS:
+            raise ValueError(
+                f"unknown scenario kind {self.kind!r}; "
+                f"expected one of {', '.join(SCENARIO_KINDS)}")
+        if self.kind == "experiment":
+            if self.experiment is None:
+                raise ValueError(
+                    "kind='experiment' requires an ExperimentConfig payload")
+        elif self.experiment is not None:
+            raise ValueError(
+                f"kind={self.kind!r} is configured via params, "
+                "not an ExperimentConfig")
+        object.__setattr__(self, "params", dict(self.params))
+        if not self.name:
+            object.__setattr__(self, "name", self.kind)
+
+    @property
+    def seed(self) -> int:
+        if self.kind == "experiment":
+            return self.experiment.seed
+        return int(self.params.get("seed", 0))
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Simulated horizon; None means the implementation's default."""
+        if self.kind == "experiment":
+            return self.experiment.duration
+        value = self.params.get("duration")
+        return None if value is None else float(value)
+
+    def describe(self) -> str:
+        if self.kind == "experiment":
+            cfg = self.experiment
+            jobs = "+".join(j.model for j in cfg.jobs)
+            return (f"{self.name}: {cfg.backend} {jobs} "
+                    f"seed={cfg.seed} duration={cfg.duration:g}s")
+        extras = {k: v for k, v in sorted(self.params.items())
+                  if k not in ("seed", "duration")}
+        dur = "default" if self.duration is None else f"{self.duration:g}s"
+        return (f"{self.name}: {self.kind} seed={self.seed} "
+                f"duration={dur} {extras}" if extras else
+                f"{self.name}: {self.kind} seed={self.seed} duration={dur}")
+
+
+@dataclass
+class ScenarioResult:
+    """Uniform wrapper around one scenario run.
+
+    ``result`` is the family-specific object (``ExperimentResult``,
+    ``OverloadResult``, or ``FaultScenarioResult``) — everything the
+    legacy entry points returned is still reachable.  The wrapper adds
+    the accounting every caller (bench, sweep, CLI) needs without
+    re-deriving it: simulator events processed, simulated seconds, and
+    wall-clock seconds.  Wall-clock is deliberately excluded from
+    :meth:`canonical` so same-seed runs serialize byte-identically.
+    """
+
+    scenario: Scenario
+    result: Any
+    events_processed: int
+    sim_time: float
+    wall_time: float
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Simulator events processed per wall-clock second."""
+        return self.events_processed / self.wall_time if self.wall_time > 0 \
+            else 0.0
+
+    def canonical(self) -> Dict[str, Any]:
+        """Deterministic plain-data rendering (wall-clock excluded)."""
+        return {
+            "kind": self.scenario.kind,
+            "name": self.scenario.name,
+            "seed": self.scenario.seed,
+            "events_processed": self.events_processed,
+            "sim_time": self.sim_time,
+            "result": _CANONICALIZERS[self.scenario.kind](self.result),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True,
+                          separators=(",", ":"), default=float)
+
+
+def run(scenario: Scenario) -> ScenarioResult:
+    """Execute any :class:`Scenario` and wrap its outcome.
+
+    The family implementations are imported lazily so the deprecation
+    shims in their modules can in turn delegate here without an import
+    cycle.
+    """
+    start = time.perf_counter()
+    if scenario.kind == "experiment":
+        from .runner import _run_experiment
+
+        result = _run_experiment(scenario.experiment)
+    elif scenario.kind == "overload":
+        from .overload import _run_overload_scenario
+
+        result = _run_overload_scenario(**scenario.params)
+    else:
+        from repro.faults.scenario import _run_fault_scenario
+
+        result = _run_fault_scenario(**scenario.params)
+    wall = time.perf_counter() - start
+    return ScenarioResult(scenario=scenario, result=result,
+                          events_processed=result.events_processed,
+                          sim_time=result.sim_time, wall_time=wall)
+
+
+# ---------------------------------------------------------------------------
+# Canonicalization: family result objects -> deterministic plain data.
+
+def _canon_records(stats) -> list:
+    return [[r.arrival, r.start, r.end] for r in stats.records]
+
+
+def _canon_stats(stats) -> dict:
+    return {
+        "records": _canon_records(stats),
+        "dropped": stats.dropped,
+        "failed": stats.failed,
+        "restarts": stats.restarts,
+        "shed": stats.shed,
+    }
+
+
+def _canon_latency(summary) -> dict:
+    return {
+        "count": summary.count,
+        "mean": summary.mean,
+        "p50": summary.p50,
+        "p95": summary.p95,
+        "p99": summary.p99,
+        "max": summary.max,
+    }
+
+
+def _canon_experiment(result) -> dict:
+    config = result.config
+    return {
+        "backend": config.backend,
+        "device": config.device,
+        "duration": config.duration,
+        "warmup": config.warmup,
+        "jobs": {
+            name: {
+                "high_priority": job.high_priority,
+                "latency": _canon_latency(job.latency),
+                "throughput": job.throughput,
+                "stats": _canon_stats(job.stats),
+            }
+            for name, job in sorted(result.jobs.items())
+        },
+        "backend_stats": result.backend_stats,
+    }
+
+
+def _canon_overload(result) -> dict:
+    return {
+        "capacity": result.capacity,
+        "solo_latency": result.solo_latency,
+        "slo": result.slo,
+        "hp_latency": _canon_latency(result.hp_latency),
+        "jobs": {name: _canon_stats(stats)
+                 for name, stats in sorted(result.jobs.items())},
+        "shed": result.total_shed(),
+        "backend_stats": result.backend_stats,
+        "queue_telemetry": result.queue_telemetry,
+        "guard_actions": result.guard_actions,
+        "guard_summary": result.guard_summary,
+        "ledger": json.loads(result.ledger.to_json()),
+    }
+
+
+def _canon_faults(result) -> dict:
+    return {
+        "plan": [event.describe() for event in result.plan],
+        "hp_latency": _canon_latency(result.hp_latency),
+        "jobs": {name: _canon_stats(stats)
+                 for name, stats in sorted(result.jobs.items())},
+        "backend_stats": result.backend_stats,
+        "ledger": json.loads(result.ledger.to_json()),
+    }
+
+
+_CANONICALIZERS = {
+    "experiment": _canon_experiment,
+    "overload": _canon_overload,
+    "faults": _canon_faults,
+}

@@ -12,6 +12,7 @@ serving again.  Used by ``python -m repro faults``, the
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -50,6 +51,9 @@ class FaultScenarioResult:
     jobs: Dict[str, ClientStats]
     hp_latency: LatencySummary
     backend_stats: Dict = field(default_factory=dict)
+    # Uniform run accounting for the Scenario API (bench/sweep).
+    events_processed: int = 0
+    sim_time: float = 0.0
 
     @property
     def hp_stats(self) -> ClientStats:
@@ -85,6 +89,38 @@ def run_fault_scenario(
     watchdog_multiple: Optional[float] = None,
     warmup: float = 0.0,
 ) -> FaultScenarioResult:
+    """Deprecated shim: build a Scenario and call ``scenario.run`` instead.
+
+    Kept for back-compat; delegates to the unified Scenario API and
+    returns the same :class:`FaultScenarioResult` it always did.
+    """
+    warnings.warn(
+        "run_fault_scenario() is deprecated; use "
+        "repro.experiments.scenario.run(Scenario(kind='faults', "
+        "params={...})) instead",
+        DeprecationWarning, stacklevel=2)
+    from repro.experiments.scenario import Scenario, run as run_scenario
+
+    params = dict(
+        seed=seed, duration=duration, plan=plan, backend=backend,
+        be_clients=be_clients, model=model, device=device, hp_rps=hp_rps,
+        watchdog_multiple=watchdog_multiple, warmup=warmup,
+    )
+    return run_scenario(Scenario(kind="faults", params=params)).result
+
+
+def _run_fault_scenario(
+    seed: int = 0,
+    duration: float = 0.2,
+    plan: Optional[FaultPlan] = None,
+    backend: str = "orion",
+    be_clients: int = 2,
+    model: str = "mobilenet_v2",
+    device: str = "V100-16GB",
+    hp_rps: float = 100.0,
+    watchdog_multiple: Optional[float] = None,
+    warmup: float = 0.0,
+) -> FaultScenarioResult:
     """Run the collocation-under-faults scenario and return its ledger.
 
     With no explicit ``plan``, the first best-effort client is killed at
@@ -93,6 +129,12 @@ def run_fault_scenario(
     """
     if plan is None:
         plan = FaultPlan((KillClient("be-0", at_time=duration * 0.4),))
+    valid_targets = {"hp"} | {f"be-{i}" for i in range(be_clients)}
+    for event in plan:
+        if isinstance(event, KillClient) and event.client not in valid_targets:
+            raise ValueError(
+                f"fault plan targets unknown client {event.client!r}; "
+                f"this scenario has {sorted(valid_targets)}")
 
     sim = Simulator()
     device_spec = get_device(device)
@@ -163,4 +205,6 @@ def run_fault_scenario(
         }
     return FaultScenarioResult(plan=plan, ledger=ledger, jobs=jobs,
                                hp_latency=hp_latency,
-                               backend_stats=backend_stats)
+                               backend_stats=backend_stats,
+                               events_processed=sim.events_processed,
+                               sim_time=sim.now)

@@ -92,6 +92,15 @@ def profile_similarity(a: KernelOp, b: KernelOp) -> float:
     return min(1.0, dot / (norm_a * norm_b))
 
 
+def _pair_similarity(cache: Dict[tuple, float], a: KernelOp, b: KernelOp) -> float:
+    """Memoized :func:`profile_similarity` (symmetric) for one rates() call."""
+    key = (a.seq, b.seq) if a.seq < b.seq else (b.seq, a.seq)
+    sim = cache.get(key)
+    if sim is None:
+        sim = cache[key] = profile_similarity(a, b)
+    return sim
+
+
 class ContentionModel:
     """Computes progress rates for a resident kernel set."""
 
@@ -124,42 +133,68 @@ class ContentionModel:
         if not kernels:
             return {}
         params = self.params
-        sm_total = sum(k.sm_needed for k in kernels) / self.num_sms
+        alpha_c = params.alpha_compute
+        alpha_m = params.alpha_memory
+        if len(kernels) == 1:
+            # Solo kernel: no co-runners, so the SM and residency terms
+            # are identically 1.0 and the pair loops vanish.  The float
+            # expressions are verbatim copies of the general path so the
+            # result is bit-identical.
+            k = kernels[0]
+            dominant = max(k.compute_util, k.memory_util, 1e-12)
+            w_c = k.compute_util / dominant
+            w_m = k.memory_util / dominant
+            compute_term = (w_c * k.compute_util) ** alpha_c
+            memory_term = (w_m * k.memory_util) ** alpha_m
+            slowdown = max(1.0, compute_term, memory_term)
+            return {k.seq: 1.0 / slowdown}
+        gamma = params.gamma_sm
+        beta = params.beta_coresidency
+        base = params.priority_weight_base
+        num_sms = self.num_sms
+        sm_total = sum(k.sm_needed for k in kernels) / num_sms
         sm_excess = max(0.0, sm_total - 1.0)
+        # Per-kernel priority weight (base**priority) computed once per
+        # kernel instead of twice per ordered pair.
+        weights = [base ** priorities.get(k.seq, 0) for k in kernels]
+        # profile_similarity is symmetric and appears in both the SM and
+        # residency terms; memoize per unordered pair for this call.
+        sim_cache: Dict[tuple, float] = {}
         result: Dict[int, float] = {}
-        for k in kernels:
-            own_pri = priorities.get(k.seq, 0)
+        for i, k in enumerate(kernels):
+            w_own = weights[i]
             demand_c = k.compute_util
             demand_m = k.memory_util
-            for j in kernels:
+            for idx, j in enumerate(kernels):
                 if j.seq == k.seq:
                     continue
-                factor = self._priority_factor(own_pri, priorities.get(j.seq, 0))
+                w_other = weights[idx]
+                factor = 2.0 * w_other / (w_own + w_other)
                 demand_c += j.compute_util * factor
                 demand_m += j.memory_util * factor
             dominant = max(k.compute_util, k.memory_util, 1e-12)
             w_c = k.compute_util / dominant
             w_m = k.memory_util / dominant
-            compute_term = (w_c * demand_c) ** params.alpha_compute
-            memory_term = (w_m * demand_m) ** params.alpha_memory
+            compute_term = (w_c * demand_c) ** alpha_c
+            memory_term = (w_m * demand_m) ** alpha_m
             sm_term = 1.0
-            if sm_excess > 0 and len(kernels) > 1 and params.gamma_sm > 0:
+            if sm_excess > 0 and gamma > 0:
                 sm_weight = sum(j.sm_needed for j in kernels if j.seq != k.seq)
                 if sm_weight > 0:
                     similarity = sum(
-                        profile_similarity(k, j) * j.sm_needed
+                        _pair_similarity(sim_cache, k, j) * j.sm_needed
                         for j in kernels
                         if j.seq != k.seq
                     ) / sm_weight
-                    sm_term = 1.0 + params.gamma_sm * sm_excess * similarity
+                    sm_term = 1.0 + gamma * sm_excess * similarity
             residency_term = 1.0
-            if params.beta_coresidency > 0:
+            if beta > 0:
                 for j in kernels:
                     if j.seq == k.seq:
                         continue
-                    share = min(1.0, j.sm_needed / self.num_sms)
+                    share = min(1.0, j.sm_needed / num_sms)
                     residency_term *= 1.0 + (
-                        params.beta_coresidency * profile_similarity(k, j) * share
+                        beta * _pair_similarity(sim_cache, k, j) * share
                     )
             slowdown = max(1.0, compute_term, memory_term, sm_term, residency_term)
             result[k.seq] = 1.0 / slowdown

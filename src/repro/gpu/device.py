@@ -41,6 +41,11 @@ __all__ = ["GpuDevice", "RunningKernel", "ArmedKernelFault"]
 
 _EPS = 1e-12
 
+
+def _candidate_key(stream):
+    """Dispatch order: priority first, then FIFO by head enqueue, then id."""
+    return (-stream.priority, stream.queue[0].enqueued_at, stream.stream_id)
+
 # Time a faulting kernel occupies its stream before the launch failure
 # is reported (real faulting kernels abort almost immediately).
 FAULT_REPORT_LATENCY = 1e-6
@@ -98,6 +103,9 @@ class GpuDevice:
         self.pcie = PcieEngine(sim, spec.pcie_bandwidth, spec.pcie_latency)
         self.streams: List[Stream] = []
         self.running: Dict[int, RunningKernel] = {}
+        # Incrementally-maintained sum of running kernels' sm_needed
+        # (exact int arithmetic; avoids re-summing per admission check).
+        self._sm_backlog = 0
         self._completion_event: Optional[ScheduledEvent] = None
         self._dispatch_scheduled = False
         self._last_rate_update = sim.now
@@ -218,7 +226,7 @@ class GpuDevice:
     @property
     def sm_backlog(self) -> int:
         """SMs demanded by the resident kernel set."""
-        return sum(r.op.sm_needed for r in self.running.values())
+        return self._sm_backlog
 
     @property
     def idle(self) -> bool:
@@ -242,7 +250,7 @@ class GpuDevice:
             return
         # Candidate streams with a ready head, priority first, then FIFO.
         candidates = [s for s in self.streams if s.head() is not None]
-        candidates.sort(key=lambda s: (-s.priority, s.queue[0].enqueued_at, s.stream_id))
+        candidates.sort(key=_candidate_key)
         kernels_gated = False
         changed = False
         for stream in candidates:
@@ -290,6 +298,7 @@ class GpuDevice:
             stream.in_flight = head
             head.started_at = self.sim.now
             self.running[op.seq] = RunningKernel(head, self.sim.now)
+            self._sm_backlog += op.sm_needed
             if self.tracer.enabled:
                 self.tracer.op_dispatch(op.client_id, op.seq, stream.name)
             changed = True
@@ -302,7 +311,7 @@ class GpuDevice:
         if len(self.running) >= self.spec.max_concurrent_kernels:
             return False
         cap = self.spec.sm_oversubscription * self.spec.num_sms
-        return self.sm_backlog + op.sm_needed <= cap
+        return self._sm_backlog + op.sm_needed <= cap
 
     # ------------------------------------------------------------------
     # Kernel execution (rate-based)
@@ -312,7 +321,8 @@ class GpuDevice:
         elapsed = now - self._last_rate_update
         if elapsed > 0 and self.running:
             for r in self.running.values():
-                r.remaining = max(0.0, r.remaining - elapsed * r.rate)
+                left = r.remaining - elapsed * r.rate
+                r.remaining = left if left > 0.0 else 0.0
             self.kernel_busy_time += elapsed
         self._last_rate_update = now
 
@@ -330,10 +340,9 @@ class GpuDevice:
         self._advance_running()
 
     def _recompute_rates(self) -> None:
-        ops = [r.op for r in self.running.values()]
-        priorities = {
-            r.op.seq: r.stream_op.stream.priority for r in self.running.values()
-        }
+        running = self.running.values()
+        ops = [r.op for r in running]
+        priorities = {r.op.seq: r.stream_op.stream.priority for r in running}
         rates = self.contention.rates(ops, priorities)
         for seq, r in self.running.items():
             r.rate = rates[seq]
@@ -345,7 +354,12 @@ class GpuDevice:
             self._completion_event = None
         if not self.running:
             return
-        soonest = min(r.remaining / max(r.rate, _EPS) for r in self.running.values())
+        soonest = None
+        for r in self.running.values():
+            rate = r.rate
+            t = r.remaining / (rate if rate > _EPS else _EPS)
+            if soonest is None or t < soonest:
+                soonest = t
         self._completion_event = self.sim.call_in(max(soonest, 1e-9), self._on_completion)
 
     def _on_completion(self) -> None:
@@ -360,6 +374,7 @@ class GpuDevice:
         to_signal = []
         for r in finished:
             del self.running[r.op.seq]
+            self._sm_backlog -= r.op.sm_needed
             stream_op = r.stream_op
             stream_op.finished_at = self.sim.now
             stream_op.stream.in_flight = None

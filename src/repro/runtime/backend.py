@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 from collections import deque
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Union
 
 from repro.gpu.device import GpuDevice
@@ -20,7 +21,8 @@ from repro.sim.process import Signal
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import NULL_TRACER
 
-__all__ = ["Backend", "ClientInfo", "SoftwareQueue", "Op", "UnknownClientError"]
+__all__ = ["Backend", "BackendOptions", "ClientInfo", "SoftwareQueue", "Op",
+           "UnknownClientError"]
 
 Op = Union[KernelOp, MemoryOp]
 
@@ -37,6 +39,26 @@ class UnknownClientError(KeyError):
     def __str__(self) -> str:
         return (f"unknown or deregistered client {self.client_id!r} "
                 f"on backend {self.backend_name!r}")
+
+
+@dataclass
+class BackendOptions:
+    """Construction-time wiring for a backend.
+
+    Collects what used to be one setter per feature
+    (``set_telemetry``, ``set_overload_policy``, ...) into a single
+    object passed at construction, so telemetry and policy references
+    are in place *before* any client registers and captures them.  The
+    setters remain as back-compat shims.
+
+    ``overload_policies`` maps client ids to a bounded-queue overflow
+    policy ("block" or "reject"); backends that support per-client
+    policies apply the entry when that client registers.
+    """
+
+    tracer: Optional[object] = None
+    metrics: Optional[MetricsRegistry] = None
+    overload_policies: Dict[str, str] = field(default_factory=dict)
 
 
 class ClientInfo:
@@ -209,17 +231,21 @@ class Backend(abc.ABC):
     #: Whether clients run as threads of one process (share a GIL).
     process_per_client: bool = False
 
-    def __init__(self, sim: Simulator):
+    def __init__(self, sim: Simulator, options: Optional[BackendOptions] = None):
         self.sim = sim
+        self.options = options if options is not None else BackendOptions()
         self.clients: Dict[str, ClientInfo] = {}
         # Registry of software queues for uniform depth telemetry; a
         # backend that queues ops creates queues via _new_queue.
         self._software_queues: Dict[str, SoftwareQueue] = {}
         # Telemetry: off by default (nil-tracer fast path).  Wire a run's
-        # tracer/registry with set_telemetry BEFORE clients register —
-        # queues and client contexts capture the references at creation.
-        self.tracer = NULL_TRACER
-        self.metrics = MetricsRegistry()
+        # tracer/registry via BackendOptions (preferred) or with
+        # set_telemetry BEFORE clients register — queues and client
+        # contexts capture the references at creation.
+        self.tracer = self.options.tracer \
+            if self.options.tracer is not None else NULL_TRACER
+        self.metrics = self.options.metrics \
+            if self.options.metrics is not None else MetricsRegistry()
 
     def set_telemetry(self, tracer=None, metrics: Optional[MetricsRegistry] = None) -> None:
         """Attach a run's tracer and/or metrics registry.  Must be

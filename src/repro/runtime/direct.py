@@ -10,14 +10,14 @@ configuration (latency lower bound, throughput upper bound).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.gpu.device import GpuDevice
 from repro.gpu.errors import CudaError, CudaErrorCode
 from repro.sim.engine import Simulator
 from repro.sim.process import Signal
 
-from .backend import Backend, ClientInfo, Op
+from .backend import Backend, BackendOptions, ClientInfo, Op, UnknownClientError
 
 __all__ = ["DirectStreamBackend", "DedicatedBackend"]
 
@@ -27,11 +27,13 @@ class DirectStreamBackend(Backend):
 
     name = "streams"
 
-    def __init__(self, sim: Simulator, device: GpuDevice, use_priorities: bool = False):
-        super().__init__(sim)
+    def __init__(self, sim: Simulator, device: GpuDevice, use_priorities: bool = False,
+                 options: Optional[BackendOptions] = None):
+        super().__init__(sim, options)
         self.device = device
         self.use_priorities = use_priorities
         self._streams: Dict[str, object] = {}
+        self.set_telemetry()
 
     def register_client(self, client_id: str, high_priority: bool, kind: str) -> ClientInfo:
         info = self._register(client_id, high_priority, kind)
@@ -42,8 +44,11 @@ class DirectStreamBackend(Backend):
         return info
 
     def submit(self, client_id: str, op: Op) -> Signal:
-        self.client_info(client_id)
-        return self._streams[client_id].submit(op)
+        # Hot path: one dict lookup instead of client_info + _streams.
+        stream = self._streams.get(client_id)
+        if stream is None:
+            raise UnknownClientError(client_id, self.name)
+        return stream.submit(op)
 
     def devices(self) -> List[GpuDevice]:
         return [self.device]
@@ -67,8 +72,9 @@ class DedicatedBackend(Backend):
     name = "ideal"
     process_per_client = True
 
-    def __init__(self, sim: Simulator, device_factory: Callable[[], GpuDevice]):
-        super().__init__(sim)
+    def __init__(self, sim: Simulator, device_factory: Callable[[], GpuDevice],
+                 options: Optional[BackendOptions] = None):
+        super().__init__(sim, options)
         self._device_factory = device_factory
         self._devices: Dict[str, GpuDevice] = {}
         self._streams: Dict[str, object] = {}
@@ -81,8 +87,10 @@ class DedicatedBackend(Backend):
         return info
 
     def submit(self, client_id: str, op: Op) -> Signal:
-        self.client_info(client_id)
-        return self._streams[client_id].submit(op)
+        stream = self._streams.get(client_id)
+        if stream is None:
+            raise UnknownClientError(client_id, self.name)
+        return stream.submit(op)
 
     def devices(self) -> List[GpuDevice]:
         return list(self._devices.values())

@@ -15,7 +15,6 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 __all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
@@ -25,11 +24,11 @@ class SimulationError(RuntimeError):
     """Raised for invalid use of the simulation engine."""
 
 
-@dataclass(order=True)
-class _HeapEntry:
-    time: float
-    seq: int
-    event: "ScheduledEvent" = field(compare=False)
+# Calendar entries are plain (time, seq, event) tuples: heap sift
+# compares resolve on the C-level float/int comparison of the first two
+# fields and never reach the event object.  A dataclass with order=True
+# here costs a Python-level __lt__ per heap comparison — measurably the
+# hottest single line of the simulator before this representation.
 
 
 class ScheduledEvent:
@@ -68,7 +67,7 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[_HeapEntry] = []
+        self._heap: list[tuple[float, int, ScheduledEvent]] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -91,14 +90,17 @@ class Simulator:
 
     def call_at(self, time: float, callback: Callable[[], None]) -> ScheduledEvent:
         """Schedule ``callback`` at absolute simulated ``time``."""
-        if math.isnan(time):
-            raise SimulationError("cannot schedule an event at NaN time")
-        if time < self._now - 1e-15:
-            raise SimulationError(
-                f"cannot schedule in the past: t={time!r} < now={self._now!r}"
-            )
-        event = ScheduledEvent(max(time, self._now), callback)
-        heapq.heappush(self._heap, _HeapEntry(event.time, next(self._seq), event))
+        now = self._now
+        if not time >= now:  # also catches NaN, which fails every compare
+            if math.isnan(time):
+                raise SimulationError("cannot schedule an event at NaN time")
+            if time < now - 1e-15:
+                raise SimulationError(
+                    f"cannot schedule in the past: t={time!r} < now={now!r}"
+                )
+            time = now
+        event = ScheduledEvent(time, callback)
+        heapq.heappush(self._heap, (time, next(self._seq), event))
         return event
 
     def call_in(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
@@ -113,20 +115,26 @@ class Simulator:
 
     def peek(self) -> Optional[float]:
         """Time of the next active event, or None if the calendar is empty."""
-        while self._heap and not self._heap[0].event.active:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap:
+            event = heap[0][2]
+            if event.cancelled or event.fired:
+                heapq.heappop(heap)
+            else:
+                return heap[0][0]
+        return None
 
     def step(self) -> bool:
         """Run the single next event.  Returns False when none remain."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            event = entry.event
-            if not event.active:
+        heap = self._heap
+        while heap:
+            time, _, event = heapq.heappop(heap)
+            if event.cancelled or event.fired:
                 continue
-            if event.time < self._now - 1e-15:
+            if time < self._now - 1e-15:
                 raise SimulationError("event calendar corrupted: time went backwards")
-            self._now = max(self._now, event.time)
+            if time > self._now:
+                self._now = time
             event.fired = True
             self.events_processed += 1
             if self._tracer is not None:
@@ -148,16 +156,36 @@ class Simulator:
         self._running = True
         self._stopped = False
         processed = 0
+        # Hot loop: locals for the heap and heappop, single pop per event
+        # (peek-then-step would scan the heap top twice), tracer branch
+        # hoisted out when tracing is off.
+        heap = self._heap
+        pop = heapq.heappop
+        tracer = self._tracer
         try:
             while not self._stopped:
                 if max_events is not None and processed >= max_events:
                     break
-                next_time = self.peek()
-                if next_time is None:
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                time, _, event = heap[0]
+                if event.cancelled or event.fired:
+                    pop(heap)
+                    continue
+                if until is not None and time > until:
                     break
-                self.step()
+                pop(heap)
+                if time < self._now - 1e-15:
+                    raise SimulationError(
+                        "event calendar corrupted: time went backwards")
+                if time > self._now:
+                    self._now = time
+                event.fired = True
+                self.events_processed += 1
+                if tracer is not None:
+                    tracer.sim_event(
+                        getattr(event.callback, "__qualname__", "callback"))
+                event.callback()
                 processed += 1
         finally:
             self._running = False

@@ -40,6 +40,8 @@ class _Awaitable:
     failed.  ``error`` is ``None`` on success.
     """
 
+    __slots__ = ("_callbacks", "triggered", "value", "error")
+
     def __init__(self):
         self._callbacks: list = []
         self.triggered = False
@@ -67,9 +69,18 @@ class _Awaitable:
         for callback in callbacks:
             callback(self)
 
+    def _start(self, sim: Simulator) -> None:
+        """Hook invoked when a process first waits on this awaitable.
+
+        The base implementation is a no-op so the process core can call
+        it unconditionally instead of isinstance-dispatching per yield.
+        """
+
 
 class Timeout(_Awaitable):
     """Completes after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, delay: float):
         super().__init__()
@@ -84,12 +95,20 @@ class Timeout(_Awaitable):
 class Signal(_Awaitable):
     """One-shot event triggered explicitly via :meth:`trigger`."""
 
+    __slots__ = ("_sim",)
+
     def __init__(self, sim: Optional[Simulator] = None):
-        super().__init__()
+        # Inlined _Awaitable.__init__: signals are created per submitted
+        # op, so the extra super() frame is measurable.
+        self._callbacks = []
+        self.triggered = False
+        self.value = None
+        self.error = None
         self._sim = sim
 
-    def trigger(self, value: Any = None, error: Any = None) -> None:
-        self._fire(value, error)
+    # ``trigger(value, error)`` is exactly ``_fire``; alias it to drop a
+    # call frame on the completion hot path.
+    trigger = _Awaitable._fire
 
     def _start(self, sim: Simulator) -> None:
         self._sim = sim
@@ -97,6 +116,8 @@ class Signal(_Awaitable):
 
 class AllOf(_Awaitable):
     """Completes when all children complete; value is the list of child values."""
+
+    __slots__ = ("children",)
 
     def __init__(self, children: Iterable[_Awaitable]):
         super().__init__()
@@ -125,6 +146,8 @@ class AllOf(_Awaitable):
 class AnyOf(_Awaitable):
     """Completes when the first child completes; value is that child's value."""
 
+    __slots__ = ("children",)
+
     def __init__(self, children: Iterable[_Awaitable]):
         super().__init__()
         self.children = list(children)
@@ -143,6 +166,8 @@ class AnyOf(_Awaitable):
 
 class Process(_Awaitable):
     """A running generator coroutine inside the simulator."""
+
+    __slots__ = ("sim", "name", "_generator", "_waiting_on", "_interrupt_pending")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = "process"):
         super().__init__()
@@ -201,8 +226,7 @@ class Process(_Awaitable):
                 f"process {self.name!r} yielded {target!r}; expected an awaitable"
             )
         self._waiting_on = target
-        if isinstance(target, (Timeout, AllOf, AnyOf, Signal)):
-            target._start(self.sim)
+        target._start(self.sim)
         if target.triggered:
             # Resume via a fresh zero-delay event rather than recursing:
             # long chains of already-complete awaitables (e.g. a burst

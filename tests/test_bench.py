@@ -1,0 +1,47 @@
+"""The bench harness: report shape, baseline comparison, regression gate."""
+
+import json
+
+from repro.bench import REFERENCE_SCENARIOS, run_bench
+
+
+class TestBench:
+    def test_smoke_run_report_and_gate(self, tmp_path):
+        # Synthetic baseline: one scenario impossibly fast (must register
+        # as a regression), one impossibly slow (huge speedup), one
+        # absent (comparison skipped).
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({"scenarios": {
+            "overload_ref": {"ops_per_sec": 1e12},
+            "inf_train_ref": {"ops_per_sec": 1.0},
+        }}))
+        out = tmp_path / "BENCH_sim.json"
+
+        report = run_bench(smoke=True, baseline_path=baseline, out_path=out)
+
+        assert set(report["scenarios"]) == set(REFERENCE_SCENARIOS)
+        for entry in report["scenarios"].values():
+            assert entry["ops_per_sec"] > 0
+            assert entry["events"] > 0
+        assert report["scenarios"]["overload_ref"]["speedup"] < 0.75
+        assert report["scenarios"]["inf_train_ref"]["speedup"] > 1.0
+        assert "speedup" not in report["scenarios"]["train_train_ref"]
+        assert report["regressions"] == ["overload_ref"]
+        assert report["ok"] is False
+        assert report["smoke"] is True and report["repeats"] == 1
+
+        written = json.loads(out.read_text())
+        assert written["scenarios"].keys() == report["scenarios"].keys()
+
+    def test_update_baseline_pins_current_numbers(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        out = tmp_path / "BENCH_sim.json"
+        report = run_bench(smoke=True, baseline_path=baseline, out_path=out,
+                           update_baseline=True)
+        assert report["baseline_found"] is False
+        assert report["ok"] is True  # no baseline -> nothing to regress from
+        pinned = json.loads(baseline.read_text())
+        assert set(pinned["scenarios"]) == set(REFERENCE_SCENARIOS)
+        for name, entry in pinned["scenarios"].items():
+            assert entry["ops_per_sec"] == \
+                report["scenarios"][name]["ops_per_sec"]

@@ -1,0 +1,117 @@
+"""The parallel sweep engine: grid determinism across worker counts,
+failing-cell isolation, and the merged canonical report."""
+
+import json
+
+import pytest
+
+from repro.experiments.registry import SCENARIOS
+from repro.experiments.scenario import Scenario
+from repro.experiments.sweep import run_cell, run_sweep, sweep_to_json
+from repro.faults.plan import FaultPlan, KillClient
+
+# Small, fast grid cells for the determinism tests.
+_FAST_OVERLOAD = dict(duration=0.05, be_clients=1)
+_FAST_FAULTS = dict(duration=0.08, be_clients=1)
+
+
+def _register(name, kind, defaults):
+    def build(seed=0, duration=None, **overrides):
+        params = dict(defaults)
+        params.update(overrides)
+        params["seed"] = seed
+        if duration is not None:
+            params["duration"] = duration
+        return Scenario(kind=kind, name=name, params=params)
+
+    SCENARIOS[name] = build
+
+
+@pytest.fixture
+def fast_scenarios():
+    """Register small test-only cells; fork workers inherit the entry."""
+    _register("_test_overload", "overload", _FAST_OVERLOAD)
+    _register("_test_faults", "faults", _FAST_FAULTS)
+    # A deterministically failing cell: the fault plan kills a client
+    # the scenario does not have, which the faults scenario rejects.
+    _register("_test_bad_faults", "faults", dict(
+        _FAST_FAULTS, plan=FaultPlan((KillClient("be-7", at_time=0.02),))))
+    yield
+    for name in ("_test_overload", "_test_faults", "_test_bad_faults"):
+        SCENARIOS.pop(name, None)
+
+
+class TestGridShape:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_sweep([], [0])
+        with pytest.raises(ValueError, match="at least one"):
+            run_sweep(["overload"], [])
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_sweep(["overload"], [0], workers=0)
+
+    def test_report_shape(self, fast_scenarios):
+        report = run_sweep(["_test_overload"], [0, 1])
+        assert report["grid"] == {"scenarios": ["_test_overload"],
+                                  "seeds": [0, 1], "cells": 2, "failed": 0}
+        assert sorted(report["cells"]) == ["_test_overload@seed=0",
+                                          "_test_overload@seed=1"]
+        for payload in report["cells"].values():
+            assert payload["status"] == "ok"
+            assert payload["result"]["events_processed"] > 0
+
+    def test_seeds_differentiate_cells(self, fast_scenarios):
+        report = run_sweep(["_test_overload"], [0, 1])
+        a = report["cells"]["_test_overload@seed=0"]["result"]
+        b = report["cells"]["_test_overload@seed=1"]["result"]
+        assert a != b
+
+
+class TestDeterminism:
+    def test_workers_do_not_change_bytes(self, fast_scenarios):
+        grid = (["_test_overload", "_test_faults"], [0, 1, 2])
+        serial = sweep_to_json(run_sweep(*grid, workers=1))
+        parallel = sweep_to_json(run_sweep(*grid, workers=2))
+        assert serial == parallel
+
+    def test_repeat_runs_are_byte_identical(self, fast_scenarios):
+        grid = (["_test_faults"], [0, 1])
+        assert sweep_to_json(run_sweep(*grid)) == \
+            sweep_to_json(run_sweep(*grid))
+
+    def test_canonical_json_is_sorted_and_wallclock_free(self, fast_scenarios):
+        payload = sweep_to_json(run_sweep(["_test_overload"], [0]))
+        assert "wall" not in payload
+        decoded = json.loads(payload)
+        assert list(decoded["cells"]) == sorted(decoded["cells"])
+
+
+class TestCrashIsolation:
+    def test_failing_cell_does_not_sink_the_grid(self, fast_scenarios):
+        report = run_sweep(["_test_faults", "_test_bad_faults"], [0],
+                           workers=1)
+        good = report["cells"]["_test_faults@seed=0"]
+        bad = report["cells"]["_test_bad_faults@seed=0"]
+        assert good["status"] == "ok"
+        assert bad["status"] == "failed"
+        assert "be-7" in bad["error"]
+        assert report["grid"]["failed"] == 1
+
+    def test_failing_cell_isolated_across_workers(self, fast_scenarios):
+        report = run_sweep(["_test_faults", "_test_bad_faults"], [0, 1],
+                           workers=2)
+        statuses = {key: payload["status"]
+                    for key, payload in report["cells"].items()}
+        assert statuses == {
+            "_test_faults@seed=0": "ok",
+            "_test_faults@seed=1": "ok",
+            "_test_bad_faults@seed=0": "failed",
+            "_test_bad_faults@seed=1": "failed",
+        }
+
+    def test_run_cell_never_raises(self):
+        payload = run_cell("definitely-not-a-scenario", 0)
+        assert payload["status"] == "failed"
+        assert "unknown scenario" in payload["error"]
