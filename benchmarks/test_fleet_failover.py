@@ -1,0 +1,99 @@
+"""Fleet failover: a 16-GPU fleet survives two mid-run GPU crashes.
+
+One seeded run of the fleet-resilience scenario with a deterministic
+plan crashing 2 of 16 GPUs mid-run, plus a byte-identity replay:
+
+* every job orphaned by the crashes is re-admitted (>= 90% of affected
+  jobs, the fleet's failover contract) and lands on a healthy GPU —
+  no routing decision ever targets a crashed GPU after its crash;
+* fleet-wide high-priority goodput degrades gracefully: losing 2/16
+  GPUs must not collapse the post-crash serving rate;
+* the availability report's fault and failover counts exactly match
+  the injected plan;
+* the replay's canonical ScenarioResult JSON — fault timing, routing
+  digest, ledger, everything but wall-clock — is byte-identical.
+"""
+
+from bench_common import save_result
+
+from repro.experiments.scenario import Scenario, run
+from repro.faults import FaultPlan, GpuCrash
+
+NUM_GPUS = 16
+DURATION = 0.15
+SEED = 7
+CRASH_TIMES = {3: DURATION * 0.4, 11: DURATION * 0.5}
+PLAN = FaultPlan(tuple(GpuCrash(gpu, at_time=at)
+                       for gpu, at in sorted(CRASH_TIMES.items())))
+PARAMS = dict(seed=SEED, duration=DURATION, num_gpus=NUM_GPUS, plan=PLAN,
+              hp_load=0.3, be_load=0.5)
+
+
+def run_fleet_failover():
+    first = run(Scenario(kind="fleet", params=dict(PARAMS)))
+    replay = run(Scenario(kind="fleet", params=dict(PARAMS)))
+    return first, replay
+
+
+def test_fleet_failover(benchmark):
+    first, replay = benchmark.pedantic(run_fleet_failover,
+                                       rounds=1, iterations=1)
+    result = first.result
+    report = result.report
+    fo = report["failover"]
+
+    # --- report counts exactly match the injected plan ----------------
+    assert report["faults"] == {"crashes": 2, "degrades": 0,
+                                "recoveries": 0}
+    for gpu, at in CRASH_TIMES.items():
+        entry = report["gpus"][f"gpu{gpu}"]
+        assert entry["state"] == "down"
+        assert entry["crashes"] == 1
+        # Uptime fraction is exactly the pre-crash share of the horizon.
+        assert abs(entry["uptime_fraction"] - at / DURATION) < 1e-6
+    assert sum(g["crashes"] for g in report["gpus"].values()) == 2
+    assert sum(g["recoveries"] for g in report["gpus"].values()) == 0
+
+    # --- >= 90% of affected jobs re-admitted --------------------------
+    assert fo["orphaned"] > 0, "crashes orphaned no jobs — load too low"
+    readmit_rate = fo["failovers"] / fo["orphaned"]
+    print(f"\norphaned {fo['orphaned']}  re-admitted {fo['failovers']} "
+          f"({readmit_rate:.0%})  completed after failover "
+          f"{fo['readmitted']}  gave up {fo['retry_exhausted']}")
+    assert readmit_rate >= 0.9, \
+        f"only {readmit_rate:.0%} of orphaned jobs were re-admitted"
+    assert fo["readmitted"] >= 0.9 * fo["failovers"], \
+        "re-admitted jobs did not complete on their new GPUs"
+
+    # --- failovers land on healthy GPUs only --------------------------
+    for t, _seq, gpu in result.decisions:
+        crash_at = CRASH_TIMES.get(gpu)
+        assert crash_at is None or t <= crash_at + 1e-12, \
+            f"job routed to crashed gpu{gpu} at t={t}"
+
+    # --- HP goodput degrades gracefully -------------------------------
+    first_crash = min(CRASH_TIMES.values())
+    last_crash = max(CRASH_TIMES.values())
+    before = result.goodput("hp", first_crash)
+    after = result.goodput("hp", DURATION, after=last_crash)
+    print(f"hp goodput: {before:.0f} req/s before crashes, "
+          f"{after:.0f} req/s after (14/16 GPUs left)")
+    assert after > 0, "HP goodput collapsed to zero after the crashes"
+    assert after >= 0.6 * before, \
+        f"HP goodput fell {1 - after / before:.0%} after losing 2/16 GPUs"
+
+    # --- determinism: byte-identical canonical JSON -------------------
+    assert first.to_json() == replay.to_json(), \
+        "same-seed fleet runs diverged (canonical JSON mismatch)"
+
+    save_result("fleet_failover", {
+        "num_gpus": NUM_GPUS,
+        "orphaned": fo["orphaned"],
+        "failovers": fo["failovers"],
+        "readmitted": fo["readmitted"],
+        "hp_goodput_before": before,
+        "hp_goodput_after": after,
+        "fleet_uptime_fraction": report["fleet_uptime_fraction"],
+        "routing_digest": result.routing["digest"],
+        "report": report,
+    })

@@ -4,6 +4,7 @@
     python -m repro inf-train  --hp resnet50 --be mobilenet_v2 --backend orion
     python -m repro train-train --hp resnet50 --be mobilenet_v2 --backend reef
     python -m repro inf-inf    --hp resnet101 --be resnet50 --arrivals apollo
+    python -m repro fleet      --num-gpus 16 --crashes 2 --degrades 1
     python -m repro sweep      --scenarios overload_ref --seeds 0,1,2,3
     python -m repro bench      --smoke
     python -m repro profile    --model bert --kind inference
@@ -95,6 +96,41 @@ def build_parser() -> argparse.ArgumentParser:
                         "profiled duration (orion only)")
     p.add_argument("--json", action="store_true",
                    help="emit the canonical ledger JSON instead of a table")
+
+    p = sub.add_parser("fleet",
+                       help="multi-GPU resilience demo: crash/degrade GPUs "
+                            "mid-run, print the availability report")
+    p.add_argument("--num-gpus", type=int, default=8,
+                   help="GPUs in the fleet (default 8)")
+    p.add_argument("--backend", default="orion",
+                   choices=("orion", "reef", "streams", "priority-streams"),
+                   help="per-GPU sharing technique")
+    p.add_argument("--model", default="mobilenet_v2", choices=MODEL_NAMES)
+    p.add_argument("--duration", type=float, default=0.15,
+                   help="simulated seconds (default 0.15)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--device", default="V100-16GB", choices=sorted(DEVICES))
+    p.add_argument("--crashes", type=int, default=1,
+                   help="GPUs to crash mid-run (default 1)")
+    p.add_argument("--degrades", type=int, default=1,
+                   help="GPUs to degrade mid-run (default 1)")
+    p.add_argument("--slowdown", type=float, default=3.0,
+                   help="degradation slowdown factor (default 3.0)")
+    p.add_argument("--recover-after", type=float, default=None,
+                   help="recover each victim this many seconds after its "
+                        "fault (default: never)")
+    p.add_argument("--be-tenants", type=int, default=2,
+                   help="best-effort tenants sharing the fleet (default 2)")
+    p.add_argument("--hp-load", type=float, default=0.25,
+                   help="high-priority offered load as a fraction of the "
+                        "fleet's aggregate solo capacity (default 0.25)")
+    p.add_argument("--be-load", type=float, default=0.35,
+                   help="total best-effort offered load as a fraction of "
+                        "the fleet's aggregate solo capacity (default 0.35)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the availability report JSON")
+    p.add_argument("--report-out", default=None,
+                   help="also write the availability report JSON here")
 
     p = sub.add_parser("overload",
                        help="overload-protection demo: drive the service "
@@ -291,6 +327,54 @@ def _run_faults(args) -> None:
         print(f"scheduler: {result.backend_stats}")
 
 
+def _run_fleet(args) -> None:
+    scenario = Scenario(kind="fleet", name="fleet", params=dict(
+        seed=args.seed, duration=args.duration, num_gpus=args.num_gpus,
+        backend=args.backend, model=args.model, device=args.device,
+        crashes=args.crashes, degrades=args.degrades,
+        slowdown=args.slowdown, recover_after=args.recover_after,
+        hp_load=args.hp_load, be_load=args.be_load,
+        be_tenants=args.be_tenants,
+    ))
+    result = run_scenario(scenario).result
+    report = result.report
+    payload = json.dumps(report, indent=1, sort_keys=True)
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            fh.write(json.dumps(report, sort_keys=True,
+                                separators=(",", ":")))
+        print(f"wrote {args.report_out}")
+    if args.json:
+        print(payload)
+        return
+    print("fault plan:")
+    for line in result.plan.describe().splitlines() or ["  (none)"]:
+        print(f"  {line}")
+    print(f"\nfleet uptime: {report['fleet_uptime_fraction']:.4f}   "
+          f"gpus: {result.num_gpus}   backend: {result.backend}")
+    rows = []
+    for name, g in report["gpus"].items():
+        rows.append([name, g["state"], f"{g['uptime_fraction']:.3f}",
+                     f"{g['health']:.3f}", str(g["jobs_completed"]),
+                     str(g["crashes"]), str(g["recoveries"])])
+    print(format_table(
+        ["gpu", "state", "uptime", "health", "served", "crashes", "recov"],
+        rows))
+    fo = report["failover"]
+    rate = fo["readmission_success_rate"]
+    print(f"\nfailover: {fo['orphaned']} orphaned, {fo['failovers']} "
+          f"re-admitted ({fo['retry_exhausted']} gave up), "
+          f"success rate {'n/a' if rate is None else f'{rate:.2f}'}")
+    if result.hp_latency.count:
+        print(f"hp latency: p50 {result.hp_latency.p50*1e3:.2f} ms   "
+              f"p99 {result.hp_latency.p99*1e3:.2f} ms   "
+              f"({result.hp_latency.count} requests)")
+    print(f"routing: {result.routing['decisions']} decisions   "
+          f"digest {result.routing['digest'][:16]}")
+    print()
+    print(result.ledger.format_table())
+
+
 def _run_overload(args) -> None:
     scenario = Scenario(kind="overload", name="overload", params=dict(
         seed=args.seed, duration=args.duration, model=args.model,
@@ -470,6 +554,9 @@ def main(argv=None) -> int:
         return 0
     if args.command == "faults":
         _run_faults(args)
+        return 0
+    if args.command == "fleet":
+        _run_fleet(args)
         return 0
     if args.command == "overload":
         _run_overload(args)

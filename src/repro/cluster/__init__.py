@@ -1,5 +1,18 @@
-"""Cluster-manager co-design (paper §7): interference-aware placement."""
+"""Cluster-manager co-design (paper §7): interference-aware placement
+and the multi-GPU resilience fleet built on top of it."""
 
+from .fleet import (
+    Fleet,
+    FleetGpu,
+    FleetJob,
+    FleetResult,
+    FleetRouter,
+    GpuHealth,
+    TenantPolicy,
+    TenantSpec,
+    availability_report,
+    run_fleet_scenario,
+)
 from .placement import (
     JobSignature,
     Placement,
@@ -16,4 +29,14 @@ __all__ = [
     "pair_interference",
     "plan_placement",
     "placement_summary",
+    "Fleet",
+    "FleetGpu",
+    "FleetJob",
+    "FleetResult",
+    "FleetRouter",
+    "GpuHealth",
+    "TenantPolicy",
+    "TenantSpec",
+    "availability_report",
+    "run_fleet_scenario",
 ]

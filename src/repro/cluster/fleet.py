@@ -1,0 +1,943 @@
+"""Fleet-scale resilience: N GPUs, one shared arrival stream, failover.
+
+The cluster-placement module (§7 co-design) answers *where jobs should
+live*; this module answers *what happens when the GPU they live on
+dies*.  A :class:`Fleet` simulates ``num_gpus`` independent GPUs, each
+running its own backend instance (Orion by default) with one resident
+worker per tenant.  A shared arrival stream per tenant feeds a central
+:class:`FleetRouter` that places every request on a GPU, scoring
+candidates by queue depth, predicted interference (the placement
+module's :func:`~repro.cluster.placement.pair_interference` between the
+tenant's demand signature and the signatures already active on the
+GPU), and a windowed health score.
+
+Fleet-level faults come from the existing
+:class:`~repro.faults.plan.FaultPlan` machinery — ``GpuCrash``,
+``GpuDegrade`` and ``GpuRecover`` events executed by the
+:class:`~repro.faults.injector.FaultInjector` with the fleet as its
+target:
+
+* **crash** — every resident worker is torn down through the normal
+  ``deregister_client`` path (queues drained, streams destroyed); its
+  queued and in-flight jobs are reclaimed by the router and re-admitted
+  on healthy GPUs with bounded retries and exponential backoff.
+* **degrade** — the device's kernel rates are scaled down; nothing is
+  *told* about it: the health tracker must observe the rising service
+  latencies and demote the GPU in routing.
+* **recover** — a crashed GPU boots fresh (new device, new backend,
+  new workers) and rejoins the routable set; a degraded GPU's slowdown
+  clears.
+
+Per-tenant policy knobs (:class:`TenantPolicy`) bound each tenant's
+fleet-wide concurrency and router queue and grant priority boosts,
+modeled on the ``tenant_gpu_policies`` idiom of multi-tenant GPU
+operators.  The run's availability report aggregates the per-GPU
+:class:`~repro.metrics.availability.ErrorLedger` entries into fleet
+uptime fractions, failover counts, re-admission success and mean time
+to recover.  Fully deterministic under (seed, arguments): same-seed
+runs serialize byte-identically, including fault timing and every
+routing decision (digested in the canonical output).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import insort
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines import PriorityStreamsBackend, ReefBackend, StreamsBackend
+from repro.core import OrionBackend, OrionConfig
+from repro.experiments.runner import get_profile
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, GpuCrash, GpuDegrade, GpuRecover
+from repro.frameworks.lowering import instantiate_plan
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import DeviceSpec, get_device
+from repro.metrics.availability import ErrorLedger
+from repro.metrics.latency import LatencySummary, summarize_latencies
+from repro.profiler.profiles import ProfileStore
+from repro.runtime.client import ClientContext
+from repro.runtime.host import HostGil, HostThread
+from repro.sim.engine import Simulator
+from repro.sim.process import Interrupted, Process, Signal, Timeout, spawn
+from repro.sim.rng import RngFactory
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import NULL_TRACER, TelemetryConfig
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.clients import ClientStats, RequestRecord
+from repro.workloads.models import get_plan
+
+from .placement import JobSignature, pair_interference, signature_of
+
+__all__ = [
+    "TenantPolicy",
+    "TenantSpec",
+    "FleetJob",
+    "GpuHealth",
+    "FleetGpu",
+    "FleetRouter",
+    "Fleet",
+    "FleetResult",
+    "run_fleet_scenario",
+]
+
+_ROUND = 9
+
+
+def _r(x: float) -> float:
+    return round(float(x), _ROUND)
+
+
+# ---------------------------------------------------------------------------
+# Tenants and jobs
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant routing/admission knobs enforced at the fleet router.
+
+    ``max_concurrency`` bounds the tenant's fleet-wide dispatched jobs
+    (queued-on-GPU plus in service); excess requests wait in the router
+    backlog.  ``max_queued`` bounds that backlog — requests arriving
+    past it are shed (rejected at admission, never tried).
+    ``priority_boost`` is added to the tenant's base priority (1 for
+    high-priority tenants, 0 otherwise) when ordering the backlog.
+    Failover is bounded: an orphaned job is re-admitted at most
+    ``max_retries`` times, with exponential backoff from
+    ``backoff_base`` capped at ``backoff_cap`` seconds.
+    """
+
+    max_concurrency: Optional[int] = None
+    max_queued: Optional[int] = None
+    priority_boost: float = 0.0
+    max_retries: int = 3
+    backoff_base: float = 2e-3
+    backoff_cap: float = 5e-2
+
+    def __post_init__(self):
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1 (or None)")
+        if self.max_queued is not None and self.max_queued < 0:
+            raise ValueError("max_queued must be >= 0 (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base <= 0 or self.backoff_cap <= 0:
+            raise ValueError("backoff values must be > 0")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a model served fleet-wide at an aggregate rate."""
+
+    name: str
+    model: str = "mobilenet_v2"
+    rps: float = 100.0
+    high_priority: bool = False
+    policy: TenantPolicy = field(default_factory=TenantPolicy)
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.rps <= 0:
+            raise ValueError("tenant rps must be > 0")
+
+
+class FleetJob:
+    """One request travelling through the fleet (routable unit)."""
+
+    __slots__ = ("tenant", "seq", "arrival", "attempts", "gpus",
+                 "_counted_readmit")
+
+    def __init__(self, tenant: str, seq: int, arrival: float):
+        self.tenant = tenant
+        self.seq = seq
+        self.arrival = arrival
+        self.attempts = 0          # completed failovers so far
+        self.gpus: List[int] = []  # every GPU this job was dispatched to
+        self._counted_readmit = False
+
+
+# ---------------------------------------------------------------------------
+# Health tracking
+
+
+class GpuHealth:
+    """Windowed health score from observed outcomes, in [0, 1].
+
+    The score is the recent success fraction scaled by a latency term:
+    1 while the mean normalized service time (observed / solo) stays
+    under ``latency_tolerance``, then decaying as ``tolerance / mean``.
+    A degraded GPU is never *told* it is slow — its inflated service
+    times push the score down, which is what demotes it in routing.
+    """
+
+    def __init__(self, window: int = 32, latency_tolerance: float = 2.0):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if latency_tolerance <= 0:
+            raise ValueError("latency_tolerance must be > 0")
+        self.latency_tolerance = latency_tolerance
+        self._ok: Deque[float] = deque(maxlen=window)
+        self._latency: Deque[float] = deque(maxlen=window)
+
+    def observe(self, ok: bool, norm_latency: Optional[float] = None) -> None:
+        self._ok.append(1.0 if ok else 0.0)
+        if norm_latency is not None:
+            self._latency.append(norm_latency)
+
+    def score(self) -> float:
+        if not self._ok:
+            return 1.0
+        ok = sum(self._ok) / len(self._ok)
+        scale = 1.0
+        if self._latency:
+            mean = sum(self._latency) / len(self._latency)
+            if mean > self.latency_tolerance:
+                scale = self.latency_tolerance / mean
+        return ok * scale
+
+
+# ---------------------------------------------------------------------------
+# Per-GPU machinery
+
+
+class _TenantWorker:
+    """One tenant's resident serving process on one GPU.
+
+    Mirrors :class:`~repro.workloads.clients.InferenceClient`'s serve
+    loop, but jobs arrive from the fleet router instead of a private
+    arrival process, and completion/failure is reported back to the
+    router so it can account health, stats, and failover.
+    """
+
+    def __init__(self, fleet: "Fleet", gpu: "FleetGpu", spec: TenantSpec,
+                 ctx: ClientContext):
+        self.fleet = fleet
+        self.sim = fleet.sim
+        self.gpu = gpu
+        self.spec = spec
+        self.ctx = ctx
+        self.plan = fleet.plans[spec.model]
+        self.pending: Deque[FleetJob] = deque()
+        self.current: Optional[FleetJob] = None
+        self.dead = False
+        self._work = Signal(fleet.sim)
+        self._process: Optional[Process] = None
+
+    def start(self) -> None:
+        self._process = spawn(
+            self.sim, self._loop(),
+            f"{self.spec.name}@gpu{self.gpu.index}")
+
+    @property
+    def load(self) -> int:
+        return len(self.pending) + (1 if self.current is not None else 0)
+
+    def submit(self, job: FleetJob) -> None:
+        self.pending.append(job)
+        if not self._work.triggered:
+            self._work.trigger()
+
+    def shutdown(self) -> List[FleetJob]:
+        """Tear the worker down (GPU crash); return its reclaimed jobs."""
+        self.dead = True
+        jobs: List[FleetJob] = []
+        if self.current is not None:
+            jobs.append(self.current)
+            self.current = None
+        jobs.extend(self.pending)
+        self.pending.clear()
+        if self._process is not None and self._process.alive:
+            self._process.interrupt("gpu crashed")
+        self.ctx.close()
+        return jobs
+
+    def _loop(self):
+        try:
+            done = yield from self.ctx.malloc(self.plan.state_bytes)
+            if done.error is not None:
+                self._die()
+                return
+            while True:
+                while not self.pending:
+                    self._work = Signal(self.sim)
+                    yield self._work
+                    if self.dead:
+                        return
+                job = self.pending.popleft()
+                self.current = job
+                yield from self.ctx.begin_request()
+                start = self.sim.now
+                ops = instantiate_plan(self.plan, self.fleet.device_spec,
+                                       client_id=self.ctx.client_id)
+                for op in ops:
+                    if op.is_kernel:
+                        yield from self.ctx.launch_kernel(op)
+                    else:
+                        yield from self.ctx.memcpy(op.nbytes, op.kind,
+                                                   blocking=op.blocking)
+                yield from self.ctx.synchronize()
+                self.ctx.end_request()
+                if self.ctx.closed or self.ctx.poisoned:
+                    # Sticky error mid-request that was not a fleet
+                    # crash (those interrupt the loop): the worker dies
+                    # and its jobs fail over like a crash's would.
+                    self._die()
+                    return
+                self.current = None
+                self.fleet.router.on_complete(self, job, start, self.sim.now)
+        except Interrupted:
+            return  # crash path: shutdown() already reclaimed the jobs
+
+    def _die(self) -> None:
+        self.dead = True
+        jobs: List[FleetJob] = []
+        if self.current is not None:
+            jobs.append(self.current)
+            self.current = None
+        jobs.extend(self.pending)
+        self.pending.clear()
+        self.ctx.close()
+        self.fleet.router.on_worker_death(self, jobs)
+
+
+class FleetGpu:
+    """One simulated GPU: its device, backend instance, and workers."""
+
+    def __init__(self, fleet: "Fleet", index: int):
+        self.fleet = fleet
+        self.index = index
+        self.state = "down"  # boot() flips to "up"
+        self.device: Optional[GpuDevice] = None
+        self.backend = None
+        self.workers: Dict[str, _TenantWorker] = {}
+        self.health = GpuHealth(
+            window=fleet.health_window,
+            latency_tolerance=fleet.health_latency_tolerance)
+        self.crashes = 0
+        self.recoveries = 0
+        self.jobs_completed = 0
+
+    @property
+    def routable(self) -> bool:
+        return self.state != "down"
+
+    def queue_depth(self) -> int:
+        return sum(w.load for w in self.workers.values())
+
+    def boot(self) -> None:
+        """Build a fresh device + backend and (re)spawn tenant workers."""
+        fleet = self.fleet
+        self.device = GpuDevice(fleet.sim, fleet.device_spec)
+        self.backend = fleet.make_backend(fleet.sim, self.device)
+        self.backend.set_telemetry(tracer=fleet.tracer)
+        gil = HostGil(fleet.sim)
+        self.workers = {}
+        self.backend.start()
+        for spec in fleet.tenants:
+            host = HostThread(
+                fleet.sim, gil=gil,
+                interception_overhead=self.backend.interception_overhead())
+            ctx = ClientContext(self.backend, f"{spec.name}@gpu{self.index}",
+                                host, high_priority=spec.high_priority,
+                                kind="inference")
+            worker = _TenantWorker(fleet, self, spec, ctx)
+            self.workers[spec.name] = worker
+            worker.start()
+        self.state = "up"
+
+    def crash(self) -> List[FleetJob]:
+        """Tear every worker down; return all reclaimed jobs."""
+        self.state = "down"
+        self.crashes += 1
+        orphans: List[FleetJob] = []
+        for spec in self.fleet.tenants:  # deterministic tenant order
+            worker = self.workers.get(spec.name)
+            if worker is not None:
+                orphans.extend(worker.shutdown())
+        self.workers = {}
+        self.device = None
+        self.backend = None
+        return orphans
+
+    def degrade(self, slowdown: float) -> None:
+        if self.device is not None:
+            self.device.set_slowdown(slowdown)
+            self.state = "degraded"
+
+    def recover(self) -> None:
+        if self.state == "down":
+            self.health = GpuHealth(
+                window=self.fleet.health_window,
+                latency_tolerance=self.fleet.health_latency_tolerance)
+            self.boot()
+            self.recoveries += 1
+        elif self.state == "degraded" and self.device is not None:
+            self.device.set_slowdown(1.0)
+            self.state = "up"
+            self.recoveries += 1
+
+
+# ---------------------------------------------------------------------------
+# Routing
+
+
+class FleetRouter:
+    """Places every job on a GPU; owns backlog, policy, and failover.
+
+    Candidate GPUs are scored by ``queue_depth + interference_weight *
+    max pairwise interference with tenants active on the GPU +
+    health_weight * (1 - health score)``; lowest score wins, ties break
+    on GPU index, so routing is a pure function of simulation state.
+    """
+
+    def __init__(self, fleet: "Fleet", interference_weight: float = 1.0,
+                 health_weight: float = 4.0):
+        self.fleet = fleet
+        self.sim = fleet.sim
+        self.interference_weight = interference_weight
+        self.health_weight = health_weight
+        # Backlog of (sort key, job): key = (-(priority + boost), seq).
+        self._backlog: List[Tuple[Tuple[float, int], FleetJob]] = []
+        self._backlog_count: Dict[str, int] = {}
+        self._dispatched: Dict[str, int] = {}
+        # Accounting (all deterministic).
+        self.submitted = 0
+        self.dispatches = 0
+        self.orphaned = 0
+        self.failovers = 0
+        self.readmitted_ok = 0
+        self.retry_exhausted = 0
+        self.decisions: List[Tuple[float, int, int]] = []
+
+    # -- admission ------------------------------------------------------
+    def submit(self, job: FleetJob) -> None:
+        self.submitted += 1
+        spec = self.fleet.tenant(job.tenant)
+        limit = spec.policy.max_queued
+        if limit is not None and self._backlog_count.get(job.tenant, 0) >= limit:
+            stats = self.fleet.stats[job.tenant]
+            stats.shed += 1
+            self.fleet.ledger.record_shed(job.tenant)
+            return
+        self._enqueue(job)
+        self.pump()
+
+    def _enqueue(self, job: FleetJob) -> None:
+        spec = self.fleet.tenant(job.tenant)
+        priority = (1.0 if spec.high_priority else 0.0) + spec.policy.priority_boost
+        insort(self._backlog, ((-priority, job.seq), job))
+        self._backlog_count[job.tenant] = \
+            self._backlog_count.get(job.tenant, 0) + 1
+
+    def backlog_size(self) -> int:
+        return len(self._backlog)
+
+    # -- dispatch -------------------------------------------------------
+    def pump(self) -> None:
+        """Dispatch every backlog job that has capacity and a GPU."""
+        progress = True
+        while progress and self._backlog:
+            progress = False
+            for i, (_, job) in enumerate(self._backlog):
+                if self._at_cap(job.tenant):
+                    continue
+                gpu = self._choose_gpu(job.tenant)
+                if gpu is None:
+                    continue
+                del self._backlog[i]
+                self._backlog_count[job.tenant] -= 1
+                self._dispatch(job, gpu)
+                progress = True
+                break
+
+    def _at_cap(self, tenant: str) -> bool:
+        limit = self.fleet.tenant(tenant).policy.max_concurrency
+        return limit is not None and self._dispatched.get(tenant, 0) >= limit
+
+    def _choose_gpu(self, tenant: str) -> Optional[FleetGpu]:
+        sig = self.fleet.signatures[tenant]
+        best: Optional[FleetGpu] = None
+        best_score: Tuple[float, int] = (0.0, 0)
+        for gpu in self.fleet.gpus:
+            if not gpu.routable or tenant not in gpu.workers:
+                continue
+            worker = gpu.workers[tenant]
+            if worker.dead:
+                continue
+            score = float(gpu.queue_depth())
+            score += self.health_weight * (1.0 - gpu.health.score())
+            interference = 0.0
+            for other, w in gpu.workers.items():
+                if other != tenant and w.load > 0:
+                    interference = max(
+                        interference,
+                        pair_interference(sig, self.fleet.signatures[other]))
+            score += self.interference_weight * interference
+            key = (score, gpu.index)
+            if best is None or key < best_score:
+                best, best_score = gpu, key
+        return best
+
+    def _dispatch(self, job: FleetJob, gpu: FleetGpu) -> None:
+        self.dispatches += 1
+        self._dispatched[job.tenant] = self._dispatched.get(job.tenant, 0) + 1
+        job.gpus.append(gpu.index)
+        self.decisions.append((_r(self.sim.now), job.seq, gpu.index))
+        gpu.workers[job.tenant].submit(job)
+
+    # -- completion and failure -----------------------------------------
+    def on_complete(self, worker: _TenantWorker, job: FleetJob,
+                    start: float, end: float) -> None:
+        self._dispatched[job.tenant] -= 1
+        worker.gpu.jobs_completed += 1
+        solo = self.fleet.solo_latency[worker.spec.model]
+        worker.gpu.health.observe(True, (end - start) / solo)
+        stats = self.fleet.stats[job.tenant]
+        stats.records.append(RequestRecord(job.arrival, start, end))
+        self.fleet.ledger.record_served(job.tenant)
+        if job.attempts > 0 and not job._counted_readmit:
+            job._counted_readmit = True
+            self.readmitted_ok += 1
+        self.pump()
+
+    def on_worker_death(self, worker: _TenantWorker,
+                        jobs: List[FleetJob]) -> None:
+        """A worker died on a sticky error (not a fleet crash)."""
+        worker.gpu.health.observe(False)
+        worker.gpu.workers.pop(worker.spec.name, None)
+        self.reclaim(jobs, reason="worker-death")
+
+    def reclaim(self, jobs: List[FleetJob], reason: str) -> None:
+        """Fail orphaned jobs over: bounded retries, exponential backoff."""
+        for job in jobs:
+            self.orphaned += 1
+            self._dispatched[job.tenant] -= 1
+            policy = self.fleet.tenant(job.tenant).policy
+            job.attempts += 1
+            if job.attempts > policy.max_retries:
+                self.retry_exhausted += 1
+                stats = self.fleet.stats[job.tenant]
+                stats.failed += 1
+                self.fleet.ledger.record_failed(job.tenant)
+                continue
+            self.failovers += 1
+            self.fleet.metrics.counter("fleet_failovers").inc()
+            if self.fleet.tracer.enabled:
+                self.fleet.tracer.instant(
+                    "fleet", "failover", tenant=job.tenant, seq=job.seq,
+                    attempt=job.attempts, reason=reason)
+            delay = min(policy.backoff_cap,
+                        policy.backoff_base * 2.0 ** (job.attempts - 1))
+            self.sim.call_in(delay, lambda j=job: self._readmit(j))
+
+    def _readmit(self, job: FleetJob) -> None:
+        # Re-admission bypasses max_queued: the job was already admitted
+        # once; shedding it now would double-charge the tenant.
+        self._enqueue(job)
+        self.pump()
+
+
+# ---------------------------------------------------------------------------
+# The fleet itself
+
+
+class Fleet:
+    """N GPUs + router + shared arrival streams, under fault injection.
+
+    This is the ``fleet`` target the :class:`FaultInjector` drives:
+    :meth:`crash_gpu`, :meth:`degrade_gpu` and :meth:`recover_gpu`
+    execute the plan's GPU-level events.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_gpus: int,
+        tenants: Sequence[TenantSpec],
+        device_spec: DeviceSpec,
+        store: ProfileStore,
+        backend: str = "orion",
+        rng_factory: Optional[RngFactory] = None,
+        ledger: Optional[ErrorLedger] = None,
+        tracer=NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+        interference_weight: float = 1.0,
+        health_weight: float = 4.0,
+        health_window: int = 32,
+        health_latency_tolerance: float = 2.0,
+    ):
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if not tenants:
+            raise ValueError("fleet needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError("tenant names must be unique")
+        if backend == "orion" and sum(t.high_priority for t in tenants) > 1:
+            raise ValueError(
+                "the orion backend supports one high-priority tenant per GPU")
+        self.sim = sim
+        self.num_gpus = num_gpus
+        self.tenants = tuple(tenants)
+        self._by_name = {t.name: t for t in self.tenants}
+        self.device_spec = device_spec
+        self.store = store
+        self.backend_name = backend
+        self.rng_factory = rng_factory or RngFactory(0)
+        self.ledger = ledger if ledger is not None else ErrorLedger()
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.health_window = health_window
+        self.health_latency_tolerance = health_latency_tolerance
+
+        self.plans = {t.model: get_plan(t.model, "inference")
+                      for t in self.tenants}
+        self.solo_latency: Dict[str, float] = {}
+        self.signatures: Dict[str, JobSignature] = {}
+        for t in self.tenants:
+            profile = get_profile(t.model, "inference", device_spec)
+            self.solo_latency[t.model] = profile.request_latency
+            self.signatures[t.name] = signature_of(profile, name=t.name)
+
+        self.stats: Dict[str, ClientStats] = {
+            t.name: ClientStats(name=t.name, kind="inference")
+            for t in self.tenants}
+        self.router = FleetRouter(self, interference_weight=interference_weight,
+                                  health_weight=health_weight)
+        self.gpus: List[FleetGpu] = [FleetGpu(self, i)
+                                     for i in range(num_gpus)]
+        # Fault accounting (the availability report's "injected" side).
+        self.crashes_injected = 0
+        self.degrades_injected = 0
+        self.recoveries_injected = 0
+        self._job_seq = 0
+
+    # -- setup ----------------------------------------------------------
+    def tenant(self, name: str) -> TenantSpec:
+        return self._by_name[name]
+
+    def make_backend(self, sim: Simulator, device: GpuDevice):
+        name = self.backend_name
+        if name == "orion":
+            hp = [t for t in self.tenants if t.high_priority]
+            hp_latency = self.solo_latency[hp[0].model] if hp else None
+            return OrionBackend(sim, device, self.store,
+                                OrionConfig(hp_request_latency=hp_latency))
+        if name == "reef":
+            return ReefBackend(sim, device)
+        if name == "streams":
+            return StreamsBackend(sim, device)
+        if name == "priority-streams":
+            return PriorityStreamsBackend(sim, device)
+        raise ValueError(f"unknown backend {name!r} for fleet scenario")
+
+    def start(self, horizon: float) -> None:
+        """Boot every GPU and spawn the shared arrival streams."""
+        for gpu in self.gpus:
+            gpu.boot()
+        for spec in self.tenants:
+            spawn(self.sim, self._arrival_loop(spec, horizon),
+                  f"fleet-arrivals-{spec.name}")
+
+    def _arrival_loop(self, spec: TenantSpec, horizon: float):
+        arrivals = PoissonArrivals(
+            spec.rps, self.rng_factory.stream(f"poisson:{spec.name}"))
+        last = 0.0
+        for t in arrivals.arrival_times(horizon):
+            if t > last:
+                yield Timeout(t - last)
+                last = t
+            self._job_seq += 1
+            self.router.submit(FleetJob(spec.name, self._job_seq, self.sim.now))
+
+    # -- fault-injector target ------------------------------------------
+    def crash_gpu(self, index: int) -> None:
+        gpu = self.gpus[index]
+        if not gpu.routable:
+            return
+        self.crashes_injected += 1
+        self.metrics.counter("fleet_gpu_crashes").inc()
+        if self.tracer.enabled:
+            self.tracer.instant("fleet", "gpu_crash", gpu=index)
+        self.ledger.record_down(f"gpu{index}", self.sim.now)
+        orphans = gpu.crash()
+        self.router.reclaim(orphans, reason="gpu-crash")
+
+    def degrade_gpu(self, index: int, slowdown: float) -> None:
+        gpu = self.gpus[index]
+        if not gpu.routable:
+            return
+        self.degrades_injected += 1
+        self.metrics.counter("fleet_gpu_degrades").inc()
+        if self.tracer.enabled:
+            self.tracer.instant("fleet", "gpu_degrade", gpu=index,
+                                slowdown=slowdown)
+        gpu.degrade(slowdown)
+
+    def recover_gpu(self, index: int) -> None:
+        gpu = self.gpus[index]
+        if gpu.state == "up":
+            return
+        was_down = gpu.state == "down"
+        self.recoveries_injected += 1
+        self.metrics.counter("fleet_gpu_recoveries").inc()
+        if self.tracer.enabled:
+            self.tracer.instant("fleet", "gpu_recover", gpu=index)
+        gpu.recover()
+        if was_down:
+            self.ledger.record_recovered(f"gpu{index}", self.sim.now)
+        self.router.pump()
+
+    # -- end-of-run accounting ------------------------------------------
+    def drain_unfinished(self) -> int:
+        """Count jobs still queued/in-flight at the horizon as dropped."""
+        dropped = 0
+        for _, job in self.router._backlog:
+            self.stats[job.tenant].dropped += 1
+            dropped += 1
+        for gpu in self.gpus:
+            for worker in gpu.workers.values():
+                for job in list(worker.pending) + (
+                        [worker.current] if worker.current else []):
+                    self.stats[job.tenant].dropped += 1
+                    dropped += 1
+        return dropped
+
+
+# ---------------------------------------------------------------------------
+# Scenario result + report
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet scenario produced."""
+
+    num_gpus: int
+    backend: str
+    plan: FaultPlan
+    tenants: Tuple[TenantSpec, ...]
+    jobs: Dict[str, ClientStats]
+    hp_latency: LatencySummary
+    ledger: ErrorLedger
+    report: Dict = field(default_factory=dict)
+    routing: Dict = field(default_factory=dict)
+    #: Every routing decision as (time, job seq, gpu index); the
+    #: canonical output carries only its count and digest.
+    decisions: List[Tuple[float, int, int]] = field(default_factory=list)
+    tracer: object = NULL_TRACER
+    metrics: Optional[MetricsRegistry] = None
+    # Uniform run accounting for the Scenario API (bench/sweep).
+    events_processed: int = 0
+    sim_time: float = 0.0
+
+    def goodput(self, tenant: str, duration: float, after: float = 0.0) -> float:
+        """Served requests per second for one tenant in [after, duration]."""
+        span = duration - after
+        if span <= 0:
+            return 0.0
+        served = [r for r in self.jobs[tenant].records
+                  if after <= r.end <= duration]
+        return len(served) / span
+
+
+def availability_report(fleet: Fleet, duration: float) -> Dict:
+    """Aggregate the ledger + router into the fleet availability report."""
+    router = fleet.router
+    gpus = {}
+    recover_samples: List[float] = []
+    for gpu in fleet.gpus:
+        entry = fleet.ledger.client(f"gpu{gpu.index}")
+        recover_samples.extend(entry.recovery_times)
+        gpus[f"gpu{gpu.index}"] = {
+            "state": gpu.state,
+            "uptime_fraction": _r(
+                fleet.ledger.availability(f"gpu{gpu.index}", duration)),
+            "crashes": gpu.crashes,
+            "recoveries": gpu.recoveries,
+            "jobs_completed": gpu.jobs_completed,
+            "health": _r(gpu.health.score()),
+        }
+    fleet_uptime = _r(sum(g["uptime_fraction"] for g in gpus.values())
+                      / len(gpus))
+    readmission_rate = (_r(router.readmitted_ok / router.failovers)
+                        if router.failovers else None)
+    mttr = (_r(sum(recover_samples) / len(recover_samples))
+            if recover_samples else None)
+    tenants = {}
+    for spec in fleet.tenants:
+        entry = fleet.ledger.client(spec.name)
+        stats = fleet.stats[spec.name]
+        tenants[spec.name] = {
+            "served": entry.served,
+            "failed": entry.failed,
+            "shed": entry.shed,
+            "dropped_at_horizon": stats.dropped,
+        }
+    return {
+        "duration": _r(duration),
+        "num_gpus": fleet.num_gpus,
+        "fleet_uptime_fraction": fleet_uptime,
+        "gpus": gpus,
+        "faults": {
+            "crashes": fleet.crashes_injected,
+            "degrades": fleet.degrades_injected,
+            "recoveries": fleet.recoveries_injected,
+        },
+        "failover": {
+            "orphaned": router.orphaned,
+            "failovers": router.failovers,
+            "readmitted": router.readmitted_ok,
+            "retry_exhausted": router.retry_exhausted,
+            "readmission_success_rate": readmission_rate,
+        },
+        "mean_time_to_recover": mttr,
+        "tenants": tenants,
+    }
+
+
+def _routing_digest(decisions: Sequence[Tuple[float, int, int]]) -> str:
+    blob = "\n".join(f"{t:.9f}:{seq}:{gpu}" for t, seq, gpu in decisions)
+    return hashlib.sha256(blob.encode("ascii")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Scenario entry point
+
+
+def _default_tenants(capacity: float, num_gpus: int, model: str,
+                     hp_load: float, be_load: float,
+                     be_tenants: int) -> List[TenantSpec]:
+    tenants = [TenantSpec("hp", model=model, high_priority=True,
+                          rps=hp_load * capacity * num_gpus,
+                          policy=TenantPolicy(priority_boost=0.5))]
+    for i in range(be_tenants):
+        tenants.append(TenantSpec(
+            f"be-{i}", model=model,
+            rps=be_load * capacity * num_gpus / max(1, be_tenants)))
+    return tenants
+
+
+def run_fleet_scenario(**params) -> FleetResult:
+    """Convenience wrapper: build a fleet Scenario and run it."""
+    from repro.experiments.scenario import Scenario, run as run_scenario
+
+    return run_scenario(Scenario(kind="fleet", params=params)).result
+
+
+def _run_fleet_scenario(
+    seed: int = 0,
+    duration: float = 0.2,
+    num_gpus: int = 8,
+    backend: str = "orion",
+    model: str = "mobilenet_v2",
+    device: str = "V100-16GB",
+    tenants: Optional[Sequence[TenantSpec]] = None,
+    plan: Optional[FaultPlan] = None,
+    crashes: int = 1,
+    degrades: int = 1,
+    slowdown: float = 3.0,
+    recover_after: Optional[float] = None,
+    hp_load: float = 0.25,
+    be_load: float = 0.35,
+    be_tenants: int = 2,
+    interference_weight: float = 1.0,
+    health_weight: float = 4.0,
+    warmup: float = 0.0,
+    telemetry: Optional[TelemetryConfig] = None,
+) -> FleetResult:
+    """Run the fleet-resilience scenario and return its accounting.
+
+    With no explicit ``plan``, a deterministic fleet plan is sampled
+    from the seed (``crashes`` crashes + ``degrades`` degradations,
+    optionally recovering ``recover_after`` seconds later).  With no
+    explicit ``tenants``, one high-priority tenant and ``be_tenants``
+    best-effort tenants serve ``model`` at ``hp_load``/``be_load``
+    fractions of the fleet's aggregate solo capacity.  Fully
+    deterministic under (seed, arguments).
+    """
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+    if duration <= 0:
+        raise ValueError("duration must be > 0")
+
+    sim = Simulator()
+    device_spec = get_device(device)
+    rng_factory = RngFactory(seed)
+    ledger = ErrorLedger()
+    telemetry = telemetry or TelemetryConfig()
+    tracer = telemetry.build_tracer(sim)
+    if telemetry.engine_events:
+        sim.attach_tracer(tracer)
+
+    if plan is None:
+        plan = FaultPlan.sample_fleet(
+            seed, num_gpus, horizon=duration, crashes=crashes,
+            degrades=degrades, slowdown=slowdown,
+            recover_after=recover_after)
+    non_fleet = [ev for ev in plan if not isinstance(
+        ev, (GpuCrash, GpuDegrade, GpuRecover))]
+    if non_fleet:
+        raise ValueError(
+            "fleet scenarios accept only GPU-level fault events "
+            f"(GpuCrash/GpuDegrade/GpuRecover); got {non_fleet[0]!r}")
+    if plan.max_gpu_index() >= num_gpus:
+        raise ValueError(
+            f"fault plan targets gpu {plan.max_gpu_index()} but the fleet "
+            f"has only {num_gpus} GPUs")
+
+    store = ProfileStore()
+    models = {model} | ({t.model for t in tenants} if tenants else set())
+    for m in sorted(models):
+        store.add(get_profile(m, "inference", device_spec))
+
+    if tenants is None:
+        capacity = 1.0 / get_profile(model, "inference",
+                                     device_spec).request_latency
+        tenants = _default_tenants(capacity, num_gpus, model,
+                                   hp_load, be_load, be_tenants)
+
+    fleet = Fleet(
+        sim, num_gpus, tenants, device_spec, store, backend=backend,
+        rng_factory=rng_factory, ledger=ledger, tracer=tracer,
+        interference_weight=interference_weight, health_weight=health_weight,
+    )
+    fleet.start(duration)
+    injector = FaultInjector(sim, plan, fleet=fleet, tracer=tracer).start()
+    sim.run(until=duration)
+
+    fleet.drain_unfinished()
+    for entry in injector.log:
+        ledger.record_injection(entry)
+    ledger.finalize(duration)
+
+    hp_names = [t.name for t in fleet.tenants if t.high_priority]
+    hp_records = [r for name in hp_names
+                  for r in fleet.stats[name].records]
+    hp_records.sort(key=lambda r: (r.arrival, r.start, r.end))
+    hp_latency = summarize_latencies(hp_records, after=warmup)
+
+    report = availability_report(fleet, duration)
+    routing = {
+        "decisions": len(fleet.router.decisions),
+        "submitted": fleet.router.submitted,
+        "digest": _routing_digest(fleet.router.decisions),
+    }
+    return FleetResult(
+        num_gpus=num_gpus,
+        backend=backend,
+        plan=plan,
+        tenants=fleet.tenants,
+        jobs=dict(fleet.stats),
+        hp_latency=hp_latency,
+        ledger=ledger,
+        report=report,
+        routing=routing,
+        decisions=list(fleet.router.decisions),
+        tracer=tracer,
+        metrics=fleet.metrics,
+        events_processed=sim.events_processed,
+        sim_time=sim.now,
+    )

@@ -238,6 +238,7 @@ def _run_overload_scenario(
     for client in clients:
         client.start()
     sim.run(until=duration)
+    ledger.finalize(duration)
 
     jobs = {c.name: c.stats for c in clients}
     hp_latency = summarize_latencies(jobs["hp"].records, after=warmup)

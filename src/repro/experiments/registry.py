@@ -166,9 +166,13 @@ SCENARIOS: Dict[str, Callable[..., Scenario]] = {
         {"hp": "resnet101", "be": "resnet50", "backend": "orion"}),
     "overload": _params_scenario("overload", "overload", {}),
     "faults": _params_scenario("faults", "faults", {}),
+    "fleet": _params_scenario("fleet", "fleet", {}),
     # Benchmark references (pinned workloads/horizons).
     "overload_ref": _params_scenario(
         "overload_ref", "overload", {"duration": 0.4}),
+    "fleet_ref": _params_scenario(
+        "fleet_ref", "fleet",
+        {"duration": 0.15, "num_gpus": 8, "crashes": 1, "degrades": 1}),
     "inf_train_ref": _experiment_scenario(
         "inf_train_ref", inf_train_config,
         {"hp": "resnet50", "be": "mobilenet_v2", "backend": "orion",

@@ -37,7 +37,7 @@ from .config import ExperimentConfig
 
 __all__ = ["Scenario", "ScenarioResult", "run", "SCENARIO_KINDS"]
 
-SCENARIO_KINDS = ("experiment", "overload", "faults")
+SCENARIO_KINDS = ("experiment", "overload", "faults", "fleet")
 
 
 @dataclass(frozen=True)
@@ -46,8 +46,9 @@ class Scenario:
 
     ``kind``
         Scenario family: ``"experiment"`` (collocation experiment),
-        ``"overload"`` (overload-protection scenario), or ``"faults"``
-        (fault-injection scenario).
+        ``"overload"`` (overload-protection scenario), ``"faults"``
+        (fault-injection scenario), or ``"fleet"`` (multi-GPU
+        resilience fleet).
     ``name``
         Display/registry name; defaults to ``kind``.
     ``experiment``
@@ -166,6 +167,10 @@ def run(scenario: Scenario) -> ScenarioResult:
         from .overload import _run_overload_scenario
 
         result = _run_overload_scenario(**scenario.params)
+    elif scenario.kind == "fleet":
+        from repro.cluster.fleet import _run_fleet_scenario
+
+        result = _run_fleet_scenario(**scenario.params)
     else:
         from repro.faults.scenario import _run_fault_scenario
 
@@ -252,8 +257,23 @@ def _canon_faults(result) -> dict:
     }
 
 
+def _canon_fleet(result) -> dict:
+    return {
+        "num_gpus": result.num_gpus,
+        "backend": result.backend,
+        "plan": [event.describe() for event in result.plan],
+        "hp_latency": _canon_latency(result.hp_latency),
+        "jobs": {name: _canon_stats(stats)
+                 for name, stats in sorted(result.jobs.items())},
+        "report": result.report,
+        "routing": result.routing,
+        "ledger": json.loads(result.ledger.to_json()),
+    }
+
+
 _CANONICALIZERS = {
     "experiment": _canon_experiment,
     "overload": _canon_overload,
     "faults": _canon_faults,
+    "fleet": _canon_fleet,
 }

@@ -1,10 +1,14 @@
 """Deterministic fault injection: plans, the injector process, and the
-canonical collocation-under-faults scenario."""
+canonical collocation-under-faults scenario.  GPU-level fleet events
+(GpuCrash/GpuDegrade/GpuRecover) target :mod:`repro.cluster.fleet`."""
 
 from .injector import FaultInjector
 from .plan import (
     FaultEvent,
     FaultPlan,
+    GpuCrash,
+    GpuDegrade,
+    GpuRecover,
     KernelFault,
     KillClient,
     ProfileFault,
@@ -17,6 +21,9 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultScenarioResult",
+    "GpuCrash",
+    "GpuDegrade",
+    "GpuRecover",
     "KernelFault",
     "KillClient",
     "ProfileFault",

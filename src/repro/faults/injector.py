@@ -18,13 +18,31 @@ from repro.sim.engine import Simulator
 from repro.sim.process import Process, Timeout, spawn
 from repro.telemetry.tracer import NULL_TRACER
 
-from .plan import FaultEvent, FaultPlan, KernelFault, KillClient, ProfileFault, TransferFault
+from .plan import (
+    FaultEvent,
+    FaultPlan,
+    GpuCrash,
+    GpuDegrade,
+    GpuRecover,
+    KernelFault,
+    KillClient,
+    ProfileFault,
+    TransferFault,
+)
 
 __all__ = ["FaultInjector"]
 
 
 class FaultInjector:
-    """Runs a fault plan: arms device faults, kills clients, mutates profiles."""
+    """Runs a fault plan: arms device faults, kills clients, mutates profiles.
+
+    ``fleet`` is the target for GPU-level events (GpuCrash/GpuDegrade/
+    GpuRecover): any object exposing ``crash_gpu(gpu)``,
+    ``degrade_gpu(gpu, slowdown)``, and ``recover_gpu(gpu)`` — in
+    practice :class:`repro.cluster.fleet.Fleet`.  Fleet events in a plan
+    with no fleet target are a configuration error and raise at
+    :meth:`start`.
+    """
 
     def __init__(
         self,
@@ -33,6 +51,7 @@ class FaultInjector:
         device: Optional[GpuDevice] = None,
         clients: Optional[Dict[str, object]] = None,
         profiles: Optional[ProfileStore] = None,
+        fleet: Optional[object] = None,
         tracer=NULL_TRACER,
     ):
         self.sim = sim
@@ -40,6 +59,7 @@ class FaultInjector:
         self.device = device
         self.clients: Dict[str, object] = dict(clients or {})
         self.profiles = profiles
+        self.fleet = fleet
         self.tracer = tracer
         # Chronological record of injected faults (feeds the error ledger).
         self.log: List[dict] = []
@@ -58,6 +78,11 @@ class FaultInjector:
         if self._started:
             return self
         self._started = True
+        if self.fleet is None and self.plan.fleet_events():
+            raise ValueError(
+                "fault plan contains GPU-level events (GpuCrash/GpuDegrade/"
+                "GpuRecover) but no fleet target was provided; these events "
+                "only apply to fleet scenarios")
         for event in self.plan.profile_faults():
             self._apply_profile_fault(event)
         for event in self.plan.op_triggered_kills():
@@ -88,6 +113,15 @@ class FaultInjector:
         elif isinstance(event, TransferFault):
             if self.device is not None:
                 self.device.arm_transfer_fault(count=event.count)
+        elif isinstance(event, GpuCrash):
+            if self.fleet is not None:
+                self.fleet.crash_gpu(event.gpu)
+        elif isinstance(event, GpuDegrade):
+            if self.fleet is not None:
+                self.fleet.degrade_gpu(event.gpu, event.slowdown)
+        elif isinstance(event, GpuRecover):
+            if self.fleet is not None:
+                self.fleet.recover_gpu(event.gpu)
         self._record(event)
 
     def _kill(self, name: str) -> None:

@@ -23,6 +23,9 @@ __all__ = [
     "KernelFault",
     "TransferFault",
     "ProfileFault",
+    "GpuCrash",
+    "GpuDegrade",
+    "GpuRecover",
     "FaultPlan",
 ]
 
@@ -126,6 +129,70 @@ class ProfileFault(FaultEvent):
 
 
 @dataclass(frozen=True)
+class GpuCrash(FaultEvent):
+    """Take a whole GPU down at an absolute time (fleet scenarios).
+
+    Every client resident on the GPU is torn down through the normal
+    ``deregister_client`` path; its queued and in-flight jobs become
+    failover candidates for the fleet router.
+    """
+
+    gpu: int
+    at_time: float = 0.0
+
+    def __post_init__(self):
+        if self.gpu < 0:
+            raise ValueError("gpu index must be >= 0")
+        if self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+
+    def describe(self) -> str:
+        return f"crash gpu {self.gpu} at t={self.at_time:.6f}"
+
+
+@dataclass(frozen=True)
+class GpuDegrade(FaultEvent):
+    """Slow a GPU down by ``slowdown`` (>1) at an absolute time.
+
+    The GPU keeps serving — degradation is what the fleet's health
+    tracker must *observe* (rising latency) rather than be told about.
+    """
+
+    gpu: int
+    at_time: float = 0.0
+    slowdown: float = 2.0
+
+    def __post_init__(self):
+        if self.gpu < 0:
+            raise ValueError("gpu index must be >= 0")
+        if self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+        if self.slowdown <= 1.0:
+            raise ValueError("slowdown must be > 1.0")
+
+    def describe(self) -> str:
+        return (f"degrade gpu {self.gpu} x{self.slowdown:g} "
+                f"at t={self.at_time:.6f}")
+
+
+@dataclass(frozen=True)
+class GpuRecover(FaultEvent):
+    """Bring a crashed GPU back (fresh boot) or clear a degradation."""
+
+    gpu: int
+    at_time: float = 0.0
+
+    def __post_init__(self):
+        if self.gpu < 0:
+            raise ValueError("gpu index must be >= 0")
+        if self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+
+    def describe(self) -> str:
+        return f"recover gpu {self.gpu} at t={self.at_time:.6f}"
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """An immutable, ordered collection of fault events."""
 
@@ -157,6 +224,15 @@ class FaultPlan:
 
     def profile_faults(self) -> List[ProfileFault]:
         return [ev for ev in self.events if isinstance(ev, ProfileFault)]
+
+    def fleet_events(self) -> List[FaultEvent]:
+        """GPU-level events (crash/degrade/recover), in plan order."""
+        return [ev for ev in self.events
+                if isinstance(ev, (GpuCrash, GpuDegrade, GpuRecover))]
+
+    def max_gpu_index(self) -> int:
+        """Highest GPU index any fleet event references (-1 if none)."""
+        return max((ev.gpu for ev in self.fleet_events()), default=-1)
 
     def describe(self) -> str:
         if not self.events:
@@ -198,4 +274,46 @@ class FaultPlan:
         for _ in range(transfer_faults):
             at = float(rng.uniform(0.1, 0.9)) * horizon
             events.append(TransferFault(at_time=at))
+        return cls(tuple(events))
+
+    @classmethod
+    def sample_fleet(
+        cls,
+        seed: int,
+        num_gpus: int,
+        horizon: float = 1.0,
+        crashes: int = 1,
+        degrades: int = 0,
+        slowdown: float = 3.0,
+        recover_after: Optional[float] = None,
+    ) -> "FaultPlan":
+        """Draw a deterministic fleet-level plan from ``seed``.
+
+        Victim GPUs are sampled without replacement; crash/degrade
+        times land in the middle 40% of the horizon so the run observes
+        both the healthy steady state and the post-fault regime.  With
+        ``recover_after`` set, each victim recovers that many seconds
+        after its fault (clipped to the horizon).
+        """
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be >= 1")
+        if crashes < 0 or degrades < 0:
+            raise ValueError("crashes/degrades must be >= 0")
+        rng = RngFactory(seed).stream("fleet-fault-plan")
+        events: List[FaultEvent] = []
+        n_victims = min(crashes + degrades, num_gpus)
+        if n_victims == 0:
+            return cls(())
+        chosen = rng.choice(num_gpus, size=n_victims, replace=False)
+        victims = sorted(int(i) for i in chosen)
+        n_crashes = min(crashes, n_victims)
+        for index, gpu in enumerate(victims):
+            at = float(rng.uniform(0.3, 0.7)) * horizon
+            if index < n_crashes:
+                events.append(GpuCrash(gpu, at_time=at))
+            else:
+                events.append(GpuDegrade(gpu, at_time=at, slowdown=slowdown))
+            if recover_after is not None:
+                events.append(GpuRecover(gpu, at_time=min(at + recover_after,
+                                                          horizon)))
         return cls(tuple(events))

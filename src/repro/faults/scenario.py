@@ -191,6 +191,7 @@ def _run_fault_scenario(
 
     for entry in injector.log:
         ledger.record_injection(entry)
+    ledger.finalize(duration)
 
     jobs = {c.name: c.stats for c in clients}
     hp_latency = summarize_latencies(hp.stats.records, after=warmup)

@@ -124,6 +124,10 @@ class GpuDevice:
         # (Backend.set_telemetry / the experiment runner); the default
         # null tracer keeps the hot paths on the disabled fast path.
         self.tracer = NULL_TRACER
+        # Degradation factor (fleet fault injection): kernel progress
+        # rates are divided by this, so a slowdown of 3.0 makes every
+        # resident kernel take 3x as long from the moment it is set.
+        self.slowdown = 1.0
         self.record_utilization = record_utilization
         self.utilization_segments: List[Tuple[float, float, float, float, float]] = []
         self.kernels_completed = 0
@@ -339,11 +343,30 @@ class GpuDevice:
             )
         self._advance_running()
 
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore, with 1.0) the device's effective speed.
+
+        Running kernels advance at their old rates up to now, then
+        continue at the scaled rates — a mid-run thermal throttle or
+        failing part, as injected by ``repro.faults`` GpuDegrade.
+        """
+        if factor <= 0:
+            raise ValueError("slowdown factor must be > 0")
+        if factor == self.slowdown:
+            return
+        self._checkpoint()
+        self.slowdown = factor
+        self._recompute_rates()
+
     def _recompute_rates(self) -> None:
         running = self.running.values()
         ops = [r.op for r in running]
         priorities = {r.op.seq: r.stream_op.stream.priority for r in running}
         rates = self.contention.rates(ops, priorities)
+        if self.slowdown != 1.0:
+            inv = 1.0 / self.slowdown
+            for seq in rates:
+                rates[seq] *= inv
         for seq, r in self.running.items():
             r.rate = rates[seq]
         self._reschedule_completion()

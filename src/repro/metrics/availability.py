@@ -39,6 +39,27 @@ class ClientLedger:
     recovery_times: List[float] = field(default_factory=list)
     down_since: Optional[float] = None
     downtime: float = 0.0
+    #: Run horizon in simulated seconds; set via ErrorLedger.finalize so
+    #: uptime_fraction can be serialized (None = unknown).
+    horizon: Optional[float] = None
+
+    def uptime_fraction(self, now: Optional[float] = None) -> Optional[float]:
+        """Fraction of the horizon this client was not down (None when
+        no horizon was recorded).  An interval still open at the end of
+        the run counts as downtime up to ``now`` (default: horizon)."""
+        if self.horizon is None or self.horizon <= 0:
+            return None
+        down = self.downtime
+        if self.down_since is not None:
+            end = _round(now if now is not None else self.horizon)
+            down += max(0.0, end - self.down_since)
+        return _round(max(0.0, 1.0 - down / self.horizon))
+
+    def time_to_recover(self) -> Optional[float]:
+        """Mean observed down-to-serving-again delay (None = no sample)."""
+        if not self.recovery_times:
+            return None
+        return _round(sum(self.recovery_times) / len(self.recovery_times))
 
     def to_dict(self) -> dict:
         return {
@@ -49,6 +70,8 @@ class ClientLedger:
             "errors": dict(sorted(self.errors.items())),
             "recovery_times": [_round(t) for t in self.recovery_times],
             "downtime": _round(self.downtime),
+            "uptime_fraction": self.uptime_fraction(),
+            "time_to_recover": self.time_to_recover(),
         }
 
 
@@ -97,6 +120,12 @@ class ErrorLedger:
 
     def record_injection(self, entry: dict) -> None:
         self.injections.append(dict(entry))
+
+    def finalize(self, horizon: float) -> None:
+        """Stamp the run horizon on every client entry so serialized
+        ledgers carry uptime fractions.  Idempotent; call at run end."""
+        for entry in self._clients.values():
+            entry.horizon = horizon
 
     # ------------------------------------------------------------------
     # Reporting

@@ -1,0 +1,86 @@
+"""Deregistration lifecycle audit: every backend raises
+UnknownClientError consistently for unknown/double deregistration."""
+
+import pytest
+
+from repro.baselines import (
+    MpsBackend,
+    PriorityStreamsBackend,
+    ReefBackend,
+    StreamsBackend,
+    TemporalBackend,
+    TickTockBackend,
+)
+from repro.core import OrionBackend, OrionConfig
+from repro.gpu.device import GpuDevice
+from repro.gpu.specs import get_device
+from repro.profiler.profiles import ProfileStore
+from repro.runtime import UnknownClientError
+from repro.runtime.direct import DedicatedBackend
+from repro.sim.engine import Simulator
+
+BACKEND_NAMES = ("orion", "reef", "streams", "priority-streams", "mps",
+                 "temporal", "ticktock", "dedicated")
+
+
+def make_backend(name: str):
+    sim = Simulator()
+    spec = get_device("V100-16GB")
+
+    def device() -> GpuDevice:
+        return GpuDevice(sim, spec)
+
+    if name == "orion":
+        return OrionBackend(sim, device(), ProfileStore(),
+                            OrionConfig(hp_request_latency=1e-3))
+    if name == "reef":
+        return ReefBackend(sim, device())
+    if name == "streams":
+        return StreamsBackend(sim, device())
+    if name == "priority-streams":
+        return PriorityStreamsBackend(sim, device())
+    if name == "mps":
+        return MpsBackend(sim, device())
+    if name == "temporal":
+        return TemporalBackend(sim, device())
+    if name == "ticktock":
+        return TickTockBackend(sim, device())
+    if name == "dedicated":
+        return DedicatedBackend(sim, device)
+    raise AssertionError(name)
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_deregister_unknown_client_raises(name):
+    backend = make_backend(name)
+    with pytest.raises(UnknownClientError):
+        backend.deregister_client("nobody")
+    # UnknownClientError subclasses KeyError, so legacy callers that
+    # catch KeyError keep working.
+    with pytest.raises(KeyError):
+        backend.deregister_client("nobody")
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_deregister_is_not_idempotent(name):
+    backend = make_backend(name)
+    kind = "training" if name == "ticktock" else "inference"
+    backend.register_client("job", high_priority=False, kind=kind)
+    assert "job" in backend.clients
+    backend.deregister_client("job")
+    assert "job" not in backend.clients
+    with pytest.raises(UnknownClientError):
+        backend.deregister_client("job")
+    with pytest.raises(UnknownClientError):
+        backend.client_info("job")
+
+
+@pytest.mark.parametrize("name", BACKEND_NAMES)
+def test_reregister_after_deregister(name):
+    backend = make_backend(name)
+    kind = "training" if name == "ticktock" else "inference"
+    backend.register_client("job", high_priority=False, kind=kind)
+    backend.deregister_client("job")
+    info = backend.register_client("job", high_priority=False, kind=kind)
+    assert info.client_id == "job"
+    backend.deregister_client("job")

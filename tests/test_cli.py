@@ -12,6 +12,28 @@ def test_parser_requires_command():
         build_parser().parse_args([])
 
 
+ALL_SUBCOMMANDS = ("inf-train", "train-train", "inf-inf", "faults",
+                   "fleet", "overload", "trace", "sweep", "bench", "profile")
+
+
+def test_help_lists_every_subcommand(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for command in ALL_SUBCOMMANDS:
+        assert command in out, f"{command} missing from top-level --help"
+
+
+@pytest.mark.parametrize("command", ALL_SUBCOMMANDS)
+def test_subcommand_help_smoke(command, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args([command, "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert command in out or "usage" in out
+
+
 def test_parser_rejects_unknown_model():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["inf-train", "--hp", "alexnet",
@@ -61,6 +83,32 @@ def test_faults_cli_json_ledger(capsys):
     assert "clients" in payload and "injections" in payload
     assert payload["injections"][0]["type"] == "KillClient"
     assert "be-0" in payload["clients"]
+
+
+def test_fleet_cli_runs(capsys):
+    rc = main(["fleet", "--num-gpus", "2", "--duration", "0.04",
+               "--seed", "1", "--crashes", "1", "--degrades", "0"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "fault plan" in out
+    assert "crash gpu" in out
+    assert "fleet uptime" in out
+    assert "failover" in out
+
+
+def test_fleet_cli_json_report(capsys, tmp_path):
+    report_path = tmp_path / "report.json"
+    rc = main(["fleet", "--num-gpus", "2", "--duration", "0.04",
+               "--seed", "1", "--crashes", "1", "--degrades", "0",
+               "--json", "--report-out", str(report_path)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    payload = json.loads(out[out.index("{"):])
+    assert payload["num_gpus"] == 2
+    assert payload["faults"]["crashes"] == 1
+    assert "gpu0" in payload["gpus"] and "gpu1" in payload["gpus"]
+    on_disk = json.loads(report_path.read_text())
+    assert on_disk == payload
 
 
 def test_profile_cli(capsys, tmp_path):

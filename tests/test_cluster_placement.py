@@ -128,6 +128,58 @@ def test_placement_with_real_zoo_profiles():
         assert p.interference <= worst
 
 
+# ----------------------------------------------------------------------
+# Degenerate inputs
+# ----------------------------------------------------------------------
+def test_empty_job_list_places_nothing():
+    assert plan_placement([], num_gpus=4) == []
+    assert placement_summary([]) == []
+
+
+def test_single_job_gets_its_own_gpu():
+    placements = plan_placement([sig("only", 0.5, 0.5)], num_gpus=4)
+    assert len(placements) == 1
+    assert placements[0].gpu == 0
+    assert [j.name for j in placements[0].jobs] == ["only"]
+    assert placements[0].interference == 0.0
+
+
+def test_more_gpus_than_jobs_spreads_jobs_out():
+    jobs = [sig(f"j{i}", 0.6, 0.3) for i in range(3)]
+    placements = plan_placement(jobs, num_gpus=8)
+    # With spare GPUs available, nothing is packed: one job per GPU.
+    assert len(placements) == 3
+    for p in placements:
+        assert len(p.jobs) == 1
+        assert p.interference == 0.0
+
+
+def test_identical_signatures_pack_without_crashing():
+    jobs = [sig(f"twin{i}", 0.7, 0.7) for i in range(4)]
+    placements = plan_placement(jobs, num_gpus=2)
+    placed = sorted(j.name for p in placements for j in p.jobs)
+    assert placed == sorted(j.name for j in jobs)
+    assert all(len(p.jobs) == 2 for p in placements)
+    # Identical heavy twins: every pair carries the same interference.
+    expected = pair_interference(jobs[0], jobs[1])
+    for p in placements:
+        assert p.interference == pytest.approx(expected)
+
+
+def test_zero_magnitude_jobs_place_cleanly():
+    jobs = [sig(f"idle{i}", 0.0, 0.0, busy=0.0) for i in range(3)]
+    placements = plan_placement(jobs, num_gpus=2)
+    assert sum(len(p.jobs) for p in placements) == 3
+    assert all(p.interference == 0.0 for p in placements)
+
+
+def test_invalid_gpu_counts_raise():
+    with pytest.raises(ValueError):
+        plan_placement([sig("a", 0.5, 0.5)], num_gpus=0)
+    with pytest.raises(ValueError):
+        plan_placement([sig("a", 0.5, 0.5)], num_gpus=1, max_per_gpu=0)
+
+
 def test_placement_summary_rows():
     jobs = [sig("a", 0.8, 0.1), sig("b", 0.1, 0.8)]
     placements = plan_placement(jobs, num_gpus=1)

@@ -193,6 +193,41 @@ def test_ledger_availability_with_open_downtime():
     assert ledger.availability("a", horizon=10.0) == pytest.approx(0.6)
 
 
+def test_ledger_serializes_uptime_and_recovery_fields():
+    ledger = ErrorLedger()
+    ledger.record_down("a", 1.0)
+    ledger.record_recovered("a", 1.5)
+    ledger.record_down("a", 4.0)
+    ledger.record_recovered("a", 5.0)
+    # Before finalize there is no horizon: uptime is unknown, but the
+    # recovery-time average is already available.
+    entry = ledger.client("a").to_dict()
+    assert entry["uptime_fraction"] is None
+    assert entry["time_to_recover"] == pytest.approx(0.75)
+
+    ledger.finalize(10.0)
+    entry = ledger.client("a").to_dict()
+    assert entry["uptime_fraction"] == pytest.approx(1 - 1.5 / 10.0)
+    assert entry["time_to_recover"] == pytest.approx(0.75)
+    # Canonical JSON carries both fields.
+    payload = ledger.to_dict()["clients"]["a"]
+    assert payload["uptime_fraction"] == entry["uptime_fraction"]
+    assert payload["time_to_recover"] == entry["time_to_recover"]
+
+
+def test_ledger_uptime_counts_open_downtime_to_horizon():
+    ledger = ErrorLedger()
+    ledger.record_down("a", 6.0)
+    ledger.finalize(10.0)
+    entry = ledger.client("a")
+    assert entry.uptime_fraction() == pytest.approx(0.6)
+    assert entry.time_to_recover() is None
+    # A client that never went down has full uptime.
+    ledger.record_served("b")
+    ledger.finalize(10.0)
+    assert ledger.client("b").uptime_fraction() == pytest.approx(1.0)
+
+
 def test_ledger_table_lists_clients_sorted():
     ledger = ErrorLedger()
     ledger.record_error("zeta", "client_killed", 0.1)

@@ -14,7 +14,12 @@ from repro.experiments.registry import (
     make_scenario,
     scenario_names,
 )
-from repro.experiments.scenario import Scenario, ScenarioResult, run
+from repro.experiments.scenario import (
+    SCENARIO_KINDS,
+    Scenario,
+    ScenarioResult,
+    run,
+)
 from repro.gpu.device import GpuDevice
 from repro.gpu.specs import V100_16GB
 from repro.profiler.profiles import ProfileStore
@@ -172,7 +177,7 @@ class TestScenarioCatalog:
     def test_every_catalog_entry_builds(self):
         for name in SCENARIOS:
             scenario = make_scenario(name, seed=1)
-            assert scenario.kind in ("experiment", "overload", "faults")
+            assert scenario.kind in SCENARIO_KINDS
 
 
 class TestFaultPlanValidation:
