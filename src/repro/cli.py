@@ -127,10 +127,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--be-load", type=float, default=0.35,
                    help="total best-effort offered load as a fraction of "
                         "the fleet's aggregate solo capacity (default 0.35)")
+    p.add_argument("--placement", default="all",
+                   choices=("all", "plan", "adversarial"),
+                   help="tenant residency: 'all' (every tenant on every "
+                        "GPU), 'plan' (interference-aware single-home), "
+                        "'adversarial' (worst-case packing, for rebalance "
+                        "demos)")
+    p.add_argument("--rebalance", action="store_true",
+                   help="attach the migration controller (requires "
+                        "--placement plan/adversarial)")
+    p.add_argument("--rebalance-interval", type=float, default=0.02,
+                   help="seconds between re-plan ticks (default 0.02)")
+    p.add_argument("--migration-cooldown", type=float, default=0.04,
+                   help="per-tenant quiet time after a move (default 0.04)")
+    p.add_argument("--max-inflight-migrations", type=int, default=1,
+                   help="concurrent migrations cap (default 1)")
+    p.add_argument("--min-gain", type=float, default=0.05,
+                   help="minimum predicted interference gain to consider "
+                        "a move (default 0.05)")
     p.add_argument("--json", action="store_true",
                    help="emit the availability report JSON")
     p.add_argument("--report-out", default=None,
                    help="also write the availability report JSON here")
+    p.add_argument("--migration-report-out", default=None,
+                   help="write the migration controller's report JSON here")
 
     p = sub.add_parser("overload",
                        help="overload-protection demo: drive the service "
@@ -335,6 +355,11 @@ def _run_fleet(args) -> None:
         slowdown=args.slowdown, recover_after=args.recover_after,
         hp_load=args.hp_load, be_load=args.be_load,
         be_tenants=args.be_tenants,
+        placement=args.placement, rebalance=args.rebalance,
+        rebalance_interval=args.rebalance_interval,
+        migration_cooldown=args.migration_cooldown,
+        max_inflight_migrations=args.max_inflight_migrations,
+        migration_min_gain=args.min_gain,
     ))
     result = run_scenario(scenario).result
     report = result.report
@@ -344,6 +369,11 @@ def _run_fleet(args) -> None:
             fh.write(json.dumps(report, sort_keys=True,
                                 separators=(",", ":")))
         print(f"wrote {args.report_out}")
+    if args.migration_report_out:
+        with open(args.migration_report_out, "w") as fh:
+            fh.write(json.dumps(result.migration, sort_keys=True,
+                                separators=(",", ":")))
+        print(f"wrote {args.migration_report_out}")
     if args.json:
         print(payload)
         return
@@ -369,6 +399,14 @@ def _run_fleet(args) -> None:
         print(f"hp latency: p50 {result.hp_latency.p50*1e3:.2f} ms   "
               f"p99 {result.hp_latency.p99*1e3:.2f} ms   "
               f"({result.hp_latency.count} requests)")
+    if result.migration:
+        mig = result.migration
+        print(f"migrations: {mig['started']} started, "
+              f"{mig['completed']} completed, "
+              f"{mig['rolled_back']} rolled back, "
+              f"{mig['rerouted']} rerouted "
+              f"(net predicted gain {mig['net_predicted_gain']:.3f}, "
+              f"{mig['requeued_jobs']} jobs requeued)")
     print(f"routing: {result.routing['decisions']} decisions   "
           f"digest {result.routing['digest'][:16]}")
     print()

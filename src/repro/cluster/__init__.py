@@ -13,22 +13,38 @@ from .fleet import (
     availability_report,
     run_fleet_scenario,
 )
+from .migration import (
+    InterferenceTracker,
+    MigrationController,
+    MigrationCostModel,
+    MigrationPolicy,
+)
 from .placement import (
     JobSignature,
+    MoveProposal,
     Placement,
+    adversarial_assignment,
     pair_interference,
     plan_placement,
     placement_summary,
+    replan_placement,
     signature_of,
 )
 
 __all__ = [
     "JobSignature",
+    "MoveProposal",
     "Placement",
     "signature_of",
     "pair_interference",
     "plan_placement",
+    "replan_placement",
+    "adversarial_assignment",
     "placement_summary",
+    "InterferenceTracker",
+    "MigrationController",
+    "MigrationCostModel",
+    "MigrationPolicy",
     "Fleet",
     "FleetGpu",
     "FleetJob",

@@ -69,7 +69,13 @@ from repro.workloads.arrivals import PoissonArrivals
 from repro.workloads.clients import ClientStats, RequestRecord
 from repro.workloads.models import get_plan
 
-from .placement import JobSignature, pair_interference, signature_of
+from .placement import (
+    JobSignature,
+    adversarial_assignment,
+    pair_interference,
+    plan_placement,
+    signature_of,
+)
 
 __all__ = [
     "TenantPolicy",
@@ -182,6 +188,12 @@ class GpuHealth:
         self._ok: Deque[float] = deque(maxlen=window)
         self._latency: Deque[float] = deque(maxlen=window)
 
+    def reset(self) -> None:
+        """Forget the window (a recovered GPU starts with a clean slate:
+        stale inflated-latency samples must not keep it demoted)."""
+        self._ok.clear()
+        self._latency.clear()
+
     def observe(self, ok: bool, norm_latency: Optional[float] = None) -> None:
         self._ok.append(1.0 if ok else 0.0)
         if norm_latency is not None:
@@ -223,6 +235,15 @@ class _TenantWorker:
         self.pending: Deque[FleetJob] = deque()
         self.current: Optional[FleetJob] = None
         self.dead = False
+        # Warm once model state is resident on the device (the malloc at
+        # the top of the serve loop); migrations wait on this before
+        # uncordoning the tenant.
+        self.warm = False
+        self.warm_signal: Optional[Signal] = None
+        # Draining: the worker finishes its in-flight job but accepts
+        # nothing new; the migration state machine waits on drain_signal.
+        self.draining = False
+        self.drain_signal: Optional[Signal] = None
         self._work = Signal(fleet.sim)
         self._process: Optional[Process] = None
 
@@ -240,6 +261,26 @@ class _TenantWorker:
         if not self._work.triggered:
             self._work.trigger()
 
+    def drain(self) -> List[FleetJob]:
+        """Stop accepting work; return the queued (not yet started) jobs.
+
+        The in-flight job (if any) keeps running — :meth:`notify_idle`
+        fires ``drain_signal`` once it completes.
+        """
+        self.draining = True
+        jobs = list(self.pending)
+        self.pending.clear()
+        return jobs
+
+    def notify_idle(self) -> None:
+        """Wake a drain waiter once the in-flight job is gone."""
+        if self.drain_signal is not None and not self.drain_signal.triggered:
+            self.drain_signal.trigger()
+
+    def _notify_warm(self) -> None:
+        if self.warm_signal is not None and not self.warm_signal.triggered:
+            self.warm_signal.trigger()
+
     def shutdown(self) -> List[FleetJob]:
         """Tear the worker down (GPU crash); return its reclaimed jobs."""
         self.dead = True
@@ -252,6 +293,8 @@ class _TenantWorker:
         if self._process is not None and self._process.alive:
             self._process.interrupt("gpu crashed")
         self.ctx.close()
+        self._notify_warm()
+        self.notify_idle()
         return jobs
 
     def _loop(self):
@@ -260,6 +303,8 @@ class _TenantWorker:
             if done.error is not None:
                 self._die()
                 return
+            self.warm = True
+            self._notify_warm()
             while True:
                 while not self.pending:
                     self._work = Signal(self.sim)
@@ -300,6 +345,8 @@ class _TenantWorker:
         jobs.extend(self.pending)
         self.pending.clear()
         self.ctx.close()
+        self._notify_warm()
+        self.notify_idle()
         self.fleet.router.on_worker_death(self, jobs)
 
 
@@ -312,6 +359,7 @@ class FleetGpu:
         self.state = "down"  # boot() flips to "up"
         self.device: Optional[GpuDevice] = None
         self.backend = None
+        self.gil: Optional[HostGil] = None
         self.workers: Dict[str, _TenantWorker] = {}
         self.health = GpuHealth(
             window=fleet.health_window,
@@ -328,25 +376,37 @@ class FleetGpu:
         return sum(w.load for w in self.workers.values())
 
     def boot(self) -> None:
-        """Build a fresh device + backend and (re)spawn tenant workers."""
+        """Build a fresh device + backend and (re)spawn tenant workers.
+
+        With an assignment in force, only the tenants homed on this GPU
+        get workers; otherwise (the default all-resident fleet) every
+        tenant is resident everywhere.
+        """
         fleet = self.fleet
         self.device = GpuDevice(fleet.sim, fleet.device_spec)
         self.backend = fleet.make_backend(fleet.sim, self.device)
         self.backend.set_telemetry(tracer=fleet.tracer)
-        gil = HostGil(fleet.sim)
+        self.gil = HostGil(fleet.sim)
         self.workers = {}
         self.backend.start()
         for spec in fleet.tenants:
-            host = HostThread(
-                fleet.sim, gil=gil,
-                interception_overhead=self.backend.interception_overhead())
-            ctx = ClientContext(self.backend, f"{spec.name}@gpu{self.index}",
-                                host, high_priority=spec.high_priority,
-                                kind="inference")
-            worker = _TenantWorker(fleet, self, spec, ctx)
-            self.workers[spec.name] = worker
-            worker.start()
+            if (fleet.assignment is None
+                    or fleet.assignment.get(spec.name) == self.index):
+                self.spawn_worker(spec)
         self.state = "up"
+
+    def spawn_worker(self, spec: TenantSpec) -> _TenantWorker:
+        """Create and start one tenant's resident worker on this GPU."""
+        host = HostThread(
+            self.fleet.sim, gil=self.gil,
+            interception_overhead=self.backend.interception_overhead())
+        ctx = ClientContext(self.backend, f"{spec.name}@gpu{self.index}",
+                            host, high_priority=spec.high_priority,
+                            kind="inference")
+        worker = _TenantWorker(self.fleet, self, spec, ctx)
+        self.workers[spec.name] = worker
+        worker.start()
+        return worker
 
     def crash(self) -> List[FleetJob]:
         """Tear every worker down; return all reclaimed jobs."""
@@ -360,6 +420,7 @@ class FleetGpu:
         self.workers = {}
         self.device = None
         self.backend = None
+        self.gil = None
         return orphans
 
     def degrade(self, slowdown: float) -> None:
@@ -369,14 +430,17 @@ class FleetGpu:
 
     def recover(self) -> None:
         if self.state == "down":
-            self.health = GpuHealth(
-                window=self.fleet.health_window,
-                latency_tolerance=self.fleet.health_latency_tolerance)
+            self.health.reset()
             self.boot()
             self.recoveries += 1
         elif self.state == "degraded" and self.device is not None:
             self.device.set_slowdown(1.0)
             self.state = "up"
+            # The slowdown is gone, but the health window still holds
+            # the inflated-latency samples it produced — without a
+            # reset the GPU stays demoted in routing until the window
+            # rolls over (the down->boot path already starts clean).
+            self.health.reset()
             self.recoveries += 1
 
 
@@ -403,6 +467,11 @@ class FleetRouter:
         self._backlog: List[Tuple[Tuple[float, int], FleetJob]] = []
         self._backlog_count: Dict[str, int] = {}
         self._dispatched: Dict[str, int] = {}
+        # (tenant, gpu) pairs a migration has cordoned: no new dispatches.
+        self._cordoned: set = set()
+        # Jobs waiting out a failover backoff (scheduled via call_in):
+        # tracked so horizon-end accounting never loses one mid-backoff.
+        self._backoff_pending: List[FleetJob] = []
         # Accounting (all deterministic).
         self.submitted = 0
         self.dispatches = 0
@@ -410,6 +479,7 @@ class FleetRouter:
         self.failovers = 0
         self.readmitted_ok = 0
         self.retry_exhausted = 0
+        self.migration_requeues = 0
         self.decisions: List[Tuple[float, int, int]] = []
 
     # -- admission ------------------------------------------------------
@@ -434,6 +504,49 @@ class FleetRouter:
 
     def backlog_size(self) -> int:
         return len(self._backlog)
+
+    def drain_backlog(self) -> List[FleetJob]:
+        """Remove and return every backlogged job (priority order).
+
+        The public way to empty the router — used by horizon-end
+        accounting and by migration drains; nothing outside the router
+        touches ``_backlog`` directly.
+        """
+        jobs = [job for _, job in self._backlog]
+        self._backlog.clear()
+        self._backlog_count.clear()
+        return jobs
+
+    def drain_backoff(self) -> List[FleetJob]:
+        """Remove and return jobs still waiting out a failover backoff."""
+        jobs, self._backoff_pending = self._backoff_pending, []
+        return jobs
+
+    # -- migration support ----------------------------------------------
+    def cordon(self, tenant: str, gpu_index: int) -> None:
+        """Stop routing ``tenant`` to ``gpu_index`` (migration source)."""
+        self._cordoned.add((tenant, gpu_index))
+
+    def uncordon(self, tenant: str, gpu_index: int) -> None:
+        self._cordoned.discard((tenant, gpu_index))
+
+    def is_cordoned(self, tenant: str, gpu_index: int) -> bool:
+        return (tenant, gpu_index) in self._cordoned
+
+    def requeue(self, jobs: List[FleetJob]) -> None:
+        """Return drained (not failed) jobs to the backlog.
+
+        Unlike :meth:`reclaim` this charges no retry attempt and counts
+        no failover: the jobs were healthy, their worker is just moving.
+        Re-enqueueing keeps at-most-once accounting exact — the job
+        object itself moves, so it can neither be lost nor duplicated.
+        """
+        for job in jobs:
+            self.migration_requeues += 1
+            self._dispatched[job.tenant] -= 1
+            self._enqueue(job)
+        if jobs:
+            self.pump()
 
     # -- dispatch -------------------------------------------------------
     def pump(self) -> None:
@@ -465,7 +578,8 @@ class FleetRouter:
             if not gpu.routable or tenant not in gpu.workers:
                 continue
             worker = gpu.workers[tenant]
-            if worker.dead:
+            if worker.dead or worker.draining \
+                    or (tenant, gpu.index) in self._cordoned:
                 continue
             score = float(gpu.queue_depth())
             score += self.health_weight * (1.0 - gpu.health.score())
@@ -494,13 +608,19 @@ class FleetRouter:
         self._dispatched[job.tenant] -= 1
         worker.gpu.jobs_completed += 1
         solo = self.fleet.solo_latency[worker.spec.model]
-        worker.gpu.health.observe(True, (end - start) / solo)
+        norm = (end - start) / solo
+        worker.gpu.health.observe(True, norm)
         stats = self.fleet.stats[job.tenant]
         stats.records.append(RequestRecord(job.arrival, start, end))
         self.fleet.ledger.record_served(job.tenant)
         if job.attempts > 0 and not job._counted_readmit:
             job._counted_readmit = True
             self.readmitted_ok += 1
+        migration = self.fleet.migration
+        if migration is not None:
+            migration.observe_completion(worker, norm)
+        if worker.draining and worker.current is None:
+            worker.notify_idle()
         self.pump()
 
     def on_worker_death(self, worker: _TenantWorker,
@@ -531,11 +651,13 @@ class FleetRouter:
                     attempt=job.attempts, reason=reason)
             delay = min(policy.backoff_cap,
                         policy.backoff_base * 2.0 ** (job.attempts - 1))
+            self._backoff_pending.append(job)
             self.sim.call_in(delay, lambda j=job: self._readmit(j))
 
     def _readmit(self, job: FleetJob) -> None:
         # Re-admission bypasses max_queued: the job was already admitted
         # once; shedding it now would double-charge the tenant.
+        self._backoff_pending.remove(job)
         self._enqueue(job)
         self.pump()
 
@@ -568,6 +690,8 @@ class Fleet:
         health_weight: float = 4.0,
         health_window: int = 32,
         health_latency_tolerance: float = 2.0,
+        assignment: Optional[Dict[str, int]] = None,
+        max_tenants_per_gpu: int = 2,
     ):
         if num_gpus < 1:
             raise ValueError("num_gpus must be >= 1")
@@ -579,6 +703,21 @@ class Fleet:
         if backend == "orion" and sum(t.high_priority for t in tenants) > 1:
             raise ValueError(
                 "the orion backend supports one high-priority tenant per GPU")
+        if assignment is not None:
+            missing = set(names) - set(assignment)
+            if missing:
+                raise ValueError(
+                    f"assignment misses tenants: {sorted(missing)}")
+            for tenant, gpu in assignment.items():
+                if tenant not in names:
+                    raise ValueError(f"assignment names unknown tenant "
+                                     f"{tenant!r}")
+                if not 0 <= gpu < num_gpus:
+                    raise ValueError(
+                        f"tenant {tenant!r} assigned to gpu {gpu} outside "
+                        f"the {num_gpus}-GPU fleet")
+        if max_tenants_per_gpu < 1:
+            raise ValueError("max_tenants_per_gpu must be >= 1")
         self.sim = sim
         self.num_gpus = num_gpus
         self.tenants = tuple(tenants)
@@ -609,10 +748,17 @@ class Fleet:
                                   health_weight=health_weight)
         self.gpus: List[FleetGpu] = [FleetGpu(self, i)
                                      for i in range(num_gpus)]
+        # Tenant -> home GPU (None: every tenant resident on every GPU).
+        self.assignment: Optional[Dict[str, int]] = (
+            dict(assignment) if assignment is not None else None)
+        self.max_tenants_per_gpu = max_tenants_per_gpu
+        # Attached by a MigrationController (repro.cluster.migration).
+        self.migration = None
         # Fault accounting (the availability report's "injected" side).
         self.crashes_injected = 0
         self.degrades_injected = 0
         self.recoveries_injected = 0
+        self.re_homed = 0
         self._job_seq = 0
 
     # -- setup ----------------------------------------------------------
@@ -653,6 +799,85 @@ class Fleet:
             self._job_seq += 1
             self.router.submit(FleetJob(spec.name, self._job_seq, self.sim.now))
 
+    # -- worker lifecycle (migration / re-homing) ------------------------
+    def add_worker(self, tenant: str, gpu_index: int) -> _TenantWorker:
+        """Spawn ``tenant``'s resident worker on an up GPU (re-warm path)."""
+        gpu = self.gpus[gpu_index]
+        if not gpu.routable or gpu.backend is None:
+            raise ValueError(f"gpu{gpu_index} is not up")
+        if tenant in gpu.workers and not gpu.workers[tenant].dead:
+            return gpu.workers[tenant]
+        return gpu.spawn_worker(self.tenant(tenant))
+
+    def remove_worker(self, tenant: str, gpu_index: int) -> List[FleetJob]:
+        """Tear ``tenant``'s worker off a GPU; return any stranded jobs.
+
+        The caller decides what happens to the returned jobs — a
+        migration requeues them (no retry charge), a crash reclaims
+        them through the failover path.
+        """
+        gpu = self.gpus[gpu_index]
+        worker = gpu.workers.pop(tenant, None)
+        if worker is None:
+            return []
+        return worker.shutdown()
+
+    def rehome_tenant(self, tenant: str,
+                      exclude: frozenset = frozenset()) -> Optional[int]:
+        """Pick a deterministic new home GPU for a tenant (or None).
+
+        Candidates are up GPUs outside ``exclude``; GPUs with free
+        tenant slots win over over-capacity ones, then the router's
+        scoring (queue depth, health, interference) and the GPU index
+        break ties.
+        """
+        sig = self.signatures[tenant]
+        best: Optional[FleetGpu] = None
+        best_key = None
+        for gpu in self.gpus:
+            if gpu.index in exclude or gpu.state != "up":
+                continue
+            live = [w for w in gpu.workers.values() if not w.dead]
+            over = len(live) >= self.max_tenants_per_gpu
+            score = float(gpu.queue_depth())
+            score += self.router.health_weight * (1.0 - gpu.health.score())
+            interference = 0.0
+            for other, w in gpu.workers.items():
+                if other != tenant and not w.dead:
+                    interference = max(
+                        interference,
+                        pair_interference(sig, self.signatures[other]))
+            score += self.router.interference_weight * interference
+            key = (over, score, gpu.index)
+            if best_key is None or key < best_key:
+                best, best_key = gpu, key
+        return best.index if best is not None else None
+
+    def _rehome_after_crash(self, index: int) -> None:
+        """Re-home tenants whose assigned GPU just died.
+
+        Without this, a single-homed tenant would have no worker
+        anywhere and its backlog would starve until the GPU recovered.
+        If no GPU is up the assignment is left pointing at the dead GPU
+        — its recovery boot restores the worker.
+        """
+        if self.assignment is None:
+            return
+        for spec in self.tenants:  # deterministic tenant order
+            if self.assignment[spec.name] != index:
+                continue
+            new_home = self.rehome_tenant(spec.name,
+                                          exclude=frozenset((index,)))
+            if new_home is None:
+                continue
+            self.assignment[spec.name] = new_home
+            self.add_worker(spec.name, new_home)
+            self.re_homed += 1
+            self.metrics.counter("fleet_rehomed").inc()
+            if self.tracer.enabled:
+                self.tracer.instant("migration", "rehome", tenant=spec.name,
+                                    src=index, dst=new_home)
+
     # -- fault-injector target ------------------------------------------
     def crash_gpu(self, index: int) -> None:
         gpu = self.gpus[index]
@@ -664,6 +889,7 @@ class Fleet:
             self.tracer.instant("fleet", "gpu_crash", gpu=index)
         self.ledger.record_down(f"gpu{index}", self.sim.now)
         orphans = gpu.crash()
+        self._rehome_after_crash(index)
         self.router.reclaim(orphans, reason="gpu-crash")
 
     def degrade_gpu(self, index: int, slowdown: float) -> None:
@@ -693,9 +919,19 @@ class Fleet:
 
     # -- end-of-run accounting ------------------------------------------
     def drain_unfinished(self) -> int:
-        """Count jobs still queued/in-flight at the horizon as dropped."""
+        """Count jobs still queued/in-flight at the horizon as dropped.
+
+        Covers the router backlog (through the public
+        :meth:`FleetRouter.drain_backlog` API), jobs waiting out a
+        failover backoff, jobs parked with a migration controller
+        mid-move, and every worker's pending/current job — so
+        ``submitted == served + shed + failed + dropped`` holds exactly.
+        """
         dropped = 0
-        for _, job in self.router._backlog:
+        unfinished = self.router.drain_backlog() + self.router.drain_backoff()
+        if self.migration is not None:
+            unfinished.extend(self.migration.drain_in_transit())
+        for job in unfinished:
             self.stats[job.tenant].dropped += 1
             dropped += 1
         for gpu in self.gpus:
@@ -724,6 +960,8 @@ class FleetResult:
     ledger: ErrorLedger
     report: Dict = field(default_factory=dict)
     routing: Dict = field(default_factory=dict)
+    #: Migration controller report (empty when rebalancing is off).
+    migration: Dict = field(default_factory=dict)
     #: Every routing decision as (time, job seq, gpu index); the
     #: canonical output carries only its count and digest.
     decisions: List[Tuple[float, int, int]] = field(default_factory=list)
@@ -776,7 +1014,7 @@ def availability_report(fleet: Fleet, duration: float) -> Dict:
             "shed": entry.shed,
             "dropped_at_horizon": stats.dropped,
         }
-    return {
+    report = {
         "duration": _r(duration),
         "num_gpus": fleet.num_gpus,
         "fleet_uptime_fraction": fleet_uptime,
@@ -792,14 +1030,27 @@ def availability_report(fleet: Fleet, duration: float) -> Dict:
             "readmitted": router.readmitted_ok,
             "retry_exhausted": router.retry_exhausted,
             "readmission_success_rate": readmission_rate,
+            "re_homed": fleet.re_homed,
         },
         "mean_time_to_recover": mttr,
         "tenants": tenants,
     }
+    if fleet.migration is not None:
+        report["migrations"] = fleet.migration.migration_report()
+    return report
 
 
-def _routing_digest(decisions: Sequence[Tuple[float, int, int]]) -> str:
+def _routing_digest(decisions: Sequence[Tuple[float, int, int]],
+                    migration_lines: Sequence[str] = ()) -> str:
+    """sha256 over routing decisions plus migration transitions.
+
+    Migration lines are appended after the decision lines, so a run
+    without migrations digests identically to the pre-migration format.
+    """
     blob = "\n".join(f"{t:.9f}:{seq}:{gpu}" for t, seq, gpu in decisions)
+    if migration_lines:
+        blob = "\n".join([blob, *migration_lines]) if blob \
+            else "\n".join(migration_lines)
     return hashlib.sha256(blob.encode("ascii")).hexdigest()
 
 
@@ -847,6 +1098,16 @@ def _run_fleet_scenario(
     health_weight: float = 4.0,
     warmup: float = 0.0,
     telemetry: Optional[TelemetryConfig] = None,
+    placement: object = "all",
+    max_tenants_per_gpu: int = 2,
+    rebalance: bool = False,
+    rebalance_interval: float = 0.02,
+    migration_cooldown: float = 0.04,
+    max_inflight_migrations: int = 1,
+    migration_min_gain: float = 0.05,
+    migration_cost_weight: float = 1.0,
+    measure_window: int = 32,
+    measure_min_samples: int = 8,
 ) -> FleetResult:
     """Run the fleet-resilience scenario and return its accounting.
 
@@ -857,11 +1118,25 @@ def _run_fleet_scenario(
     best-effort tenants serve ``model`` at ``hp_load``/``be_load``
     fractions of the fleet's aggregate solo capacity.  Fully
     deterministic under (seed, arguments).
+
+    ``placement`` selects tenant residency: ``"all"`` (default —
+    every tenant resident on every GPU, migration off), ``"plan"``
+    (single-home via :func:`plan_placement`), ``"adversarial"``
+    (worst-case packing, for migration benchmarks), or an explicit
+    ``{tenant: gpu}`` mapping.  ``rebalance=True`` attaches a
+    :class:`~repro.cluster.migration.MigrationController` that
+    periodically re-plans over measured interference and moves tenants
+    through the cordon→drain→move→re-warm→uncordon state machine.
     """
     if num_gpus < 1:
         raise ValueError("num_gpus must be >= 1")
     if duration <= 0:
         raise ValueError("duration must be > 0")
+    if rebalance and placement == "all":
+        raise ValueError(
+            "rebalance requires single-home placement "
+            "(placement='plan'/'adversarial' or an explicit mapping); "
+            "with placement='all' every tenant is already everywhere")
 
     sim = Simulator()
     device_spec = get_device(device)
@@ -899,12 +1174,52 @@ def _run_fleet_scenario(
         tenants = _default_tenants(capacity, num_gpus, model,
                                    hp_load, be_load, be_tenants)
 
+    assignment: Optional[Dict[str, int]] = None
+    if placement == "all":
+        assignment = None
+    elif placement in ("plan", "adversarial"):
+        signatures = {
+            t.name: signature_of(
+                get_profile(t.model, "inference", device_spec), name=t.name)
+            for t in tenants}
+        if placement == "plan":
+            placements = plan_placement(
+                sorted(signatures.values(), key=lambda s: s.name),
+                num_gpus, max_per_gpu=max_tenants_per_gpu)
+            assignment = {job.name: p.gpu
+                          for p in placements for job in p.jobs}
+        else:
+            assignment = adversarial_assignment(
+                signatures, num_gpus, max_per_gpu=max_tenants_per_gpu)
+    elif isinstance(placement, dict):
+        assignment = dict(placement)
+    else:
+        raise ValueError(
+            f"placement must be 'all', 'plan', 'adversarial' or a "
+            f"tenant->gpu mapping; got {placement!r}")
+
     fleet = Fleet(
         sim, num_gpus, tenants, device_spec, store, backend=backend,
         rng_factory=rng_factory, ledger=ledger, tracer=tracer,
         interference_weight=interference_weight, health_weight=health_weight,
+        assignment=assignment, max_tenants_per_gpu=max_tenants_per_gpu,
     )
+    controller = None
+    if rebalance:
+        from repro.cluster.migration import (MigrationController,
+                                             MigrationPolicy)
+        controller = MigrationController(fleet, MigrationPolicy(
+            interval=rebalance_interval,
+            cooldown=migration_cooldown,
+            max_inflight=max_inflight_migrations,
+            min_gain=migration_min_gain,
+            cost_weight=migration_cost_weight,
+            measure_window=measure_window,
+            measure_min_samples=measure_min_samples,
+        ))
     fleet.start(duration)
+    if controller is not None:
+        controller.start(duration)
     injector = FaultInjector(sim, plan, fleet=fleet, tracer=tracer).start()
     sim.run(until=duration)
 
@@ -920,11 +1235,16 @@ def _run_fleet_scenario(
     hp_latency = summarize_latencies(hp_records, after=warmup)
 
     report = availability_report(fleet, duration)
+    migration_lines = (controller.digest_lines()
+                       if controller is not None else ())
     routing = {
         "decisions": len(fleet.router.decisions),
         "submitted": fleet.router.submitted,
-        "digest": _routing_digest(fleet.router.decisions),
+        "migrations": len(migration_lines),
+        "digest": _routing_digest(fleet.router.decisions, migration_lines),
     }
+    migration_report = (controller.migration_report()
+                        if controller is not None else {})
     return FleetResult(
         num_gpus=num_gpus,
         backend=backend,
@@ -935,6 +1255,7 @@ def _run_fleet_scenario(
         ledger=ledger,
         report=report,
         routing=routing,
+        migration=migration_report,
         decisions=list(fleet.router.decisions),
         tracer=tracer,
         metrics=fleet.metrics,

@@ -21,12 +21,22 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.profiler.profiles import ModelProfile
 
 __all__ = ["JobSignature", "signature_of", "pair_interference",
-           "plan_placement", "Placement"]
+           "plan_placement", "Placement", "MoveProposal",
+           "replan_placement", "adversarial_assignment"]
 
 
 @dataclass(frozen=True)
@@ -127,6 +137,136 @@ def plan_placement(jobs: Sequence[JobSignature], num_gpus: int,
     if remaining:
         raise ValueError("ran out of GPUs while jobs remain (internal error)")
     return placements
+
+
+# ---------------------------------------------------------------------------
+# Incremental re-planning over an existing assignment (live migration)
+
+
+@dataclass(frozen=True)
+class MoveProposal:
+    """One proposed tenant move with its predicted interference gain.
+
+    ``gain`` is the reduction in the summed pairwise interference of the
+    whole assignment if the tenant moves from ``src`` to ``dst`` (with
+    every other tenant staying put): positive means the move helps.
+    """
+
+    tenant: str
+    src: int
+    dst: int
+    gain: float
+
+
+def replan_placement(
+    assignment: Mapping[str, int],
+    num_gpus: int,
+    interference: Callable[[str, str], float],
+    max_per_gpu: int = 2,
+    pinned: AbstractSet[str] = frozenset(),
+    min_gain: float = 0.0,
+    max_moves: Optional[int] = None,
+    allowed_gpus: Optional[AbstractSet[int]] = None,
+) -> List[MoveProposal]:
+    """Greedy incremental re-plan over the *current* residents.
+
+    Unlike :func:`plan_placement` — which packs a fresh job list from
+    scratch — this starts from a live ``tenant -> gpu`` assignment and
+    proposes individual moves, so a running fleet can converge without
+    tearing everything down.  ``interference`` is a symmetric pairwise
+    callable (measured interference where available, predicted
+    signatures as the fallback).  ``pinned`` tenants never move
+    (cooldown, in-flight migrations); ``allowed_gpus`` restricts move
+    *destinations* (healthy GPUs only — sources may be anywhere).
+
+    Moves are found greedily: the single best move (largest gain, ties
+    broken on tenant name then destination index, so the plan is a pure
+    function of its inputs) is applied to a working copy and the search
+    repeats, until no move gains at least ``min_gain`` or ``max_moves``
+    proposals have been emitted.
+    """
+    if num_gpus < 1 or max_per_gpu < 1:
+        raise ValueError("need at least one GPU slot")
+    working: Dict[str, int] = dict(assignment)
+    for tenant, gpu in working.items():
+        if not 0 <= gpu < num_gpus:
+            raise ValueError(f"tenant {tenant!r} assigned to gpu {gpu} "
+                             f"outside the {num_gpus}-GPU fleet")
+    destinations = (set(range(num_gpus)) if allowed_gpus is None
+                    else {g for g in allowed_gpus if 0 <= g < num_gpus})
+    proposals: List[MoveProposal] = []
+    while max_moves is None or len(proposals) < max_moves:
+        residents: Dict[int, List[str]] = {}
+        for tenant, gpu in working.items():
+            residents.setdefault(gpu, []).append(tenant)
+        best: Optional[MoveProposal] = None
+        for tenant in sorted(working):
+            if tenant in pinned:
+                continue
+            src = working[tenant]
+            # Interference the tenant currently contributes at its source.
+            src_cost = sum(interference(tenant, other)
+                           for other in residents.get(src, ())
+                           if other != tenant)
+            for dst in sorted(destinations):
+                if dst == src:
+                    continue
+                occupants = residents.get(dst, ())
+                if len(occupants) >= max_per_gpu:
+                    continue
+                dst_cost = sum(interference(tenant, other)
+                               for other in occupants)
+                gain = src_cost - dst_cost
+                if gain < min_gain:
+                    continue
+                candidate = MoveProposal(tenant, src, dst, gain)
+                if best is None or (-candidate.gain, candidate.tenant,
+                                    candidate.dst) < (-best.gain,
+                                                      best.tenant, best.dst):
+                    best = candidate
+        if best is None:
+            break
+        proposals.append(best)
+        working[best.tenant] = best.dst
+    return proposals
+
+
+def adversarial_assignment(
+    signatures: Mapping[str, "JobSignature"],
+    num_gpus: int,
+    max_per_gpu: int = 2,
+) -> Dict[str, int]:
+    """Deliberately *bad* packing: most-interfering partners together.
+
+    The mirror image of :func:`plan_placement` — heaviest unplaced job
+    anchors a GPU, then the partner that *maximizes* pairwise
+    interference fills it, even while other GPUs sit empty.  Used to
+    seed migration benchmarks with a placement worth unwinding.
+    """
+    if num_gpus < 1 or max_per_gpu < 1:
+        raise ValueError("need at least one GPU slot")
+    if len(signatures) > num_gpus * max_per_gpu:
+        raise ValueError(
+            f"{len(signatures)} jobs do not fit on {num_gpus} GPUs "
+            f"x {max_per_gpu} slots")
+    remaining = sorted(signatures,
+                       key=lambda n: (-signatures[n].magnitude, n))
+    assignment: Dict[str, int] = {}
+    gpu = 0
+    while remaining:
+        anchor = remaining.pop(0)
+        assignment[anchor] = gpu
+        group = 1
+        while group < max_per_gpu and remaining:
+            partner = min(
+                remaining,
+                key=lambda n: (-pair_interference(signatures[anchor],
+                                                  signatures[n]), n))
+            remaining.remove(partner)
+            assignment[partner] = gpu
+            group += 1
+        gpu += 1
+    return assignment
 
 
 def placement_summary(placements: List[Placement]) -> List[Tuple[int, str, float]]:

@@ -167,6 +167,13 @@ SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "overload": _params_scenario("overload", "overload", {}),
     "faults": _params_scenario("faults", "faults", {}),
     "fleet": _params_scenario("fleet", "fleet", {}),
+    # Self-healing fleet: adversarial initial packing, measured-
+    # interference rebalancing on, faults firing while tenants move.
+    "fleet_rebalance": _params_scenario(
+        "fleet_rebalance", "fleet",
+        {"duration": 0.3, "num_gpus": 8, "crashes": 1, "degrades": 1,
+         "placement": "adversarial", "rebalance": True,
+         "be_tenants": 6, "warmup": 0.1}),
     # Benchmark references (pinned workloads/horizons).
     "overload_ref": _params_scenario(
         "overload_ref", "overload", {"duration": 0.4}),

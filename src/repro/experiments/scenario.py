@@ -267,6 +267,7 @@ def _canon_fleet(result) -> dict:
                  for name, stats in sorted(result.jobs.items())},
         "report": result.report,
         "routing": result.routing,
+        "migration": result.migration,
         "ledger": json.loads(result.ledger.to_json()),
     }
 

@@ -127,7 +127,8 @@ def build_chrome_trace(
     clients = sorted({rec.client for rec in ops.values() if rec.client}
                      | {_client_name(e[2]) for e in events if e[0] == ev.REQUEST})
     client_tid = {c: _TRACKS_PER_CLIENT * i for i, c in enumerate(clients)}
-    instant_tracks = sorted({e[2] for e in events if e[0] == ev.INSTANT})
+    instant_tracks = sorted({e[2] for e in events
+                             if e[0] in (ev.INSTANT, ev.SPAN)})
     instant_tid = {t: i for i, t in enumerate(instant_tracks)}
 
     out: List[dict] = []
@@ -195,6 +196,14 @@ def build_chrome_trace(
             out.append({
                 "ph": "i", "pid": PID_SCHEDULER, "tid": instant_tid[track],
                 "ts": _us(ts), "s": "t", "name": name, "cat": track,
+                "args": {k: v for k, v in args},
+            })
+        elif kind == ev.SPAN:
+            _, _ts, track, name, start, end, args = event
+            out.append({
+                "ph": "X", "pid": PID_SCHEDULER, "tid": instant_tid[track],
+                "ts": _us(start), "dur": round(_us(end) - _us(start), 3),
+                "name": name, "cat": track,
                 "args": {k: v for k, v in args},
             })
         elif kind == ev.COUNTER:

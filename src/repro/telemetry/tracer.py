@@ -38,6 +38,7 @@ COMPLETE = "complete"
 INSTANT = "instant"
 COUNTER = "counter"
 REQUEST = "request"
+SPAN = "span"
 SIM_EVENT = "sim"
 
 
@@ -116,6 +117,12 @@ class Tracer:
         with its arrival and service-start stamps."""
         self._append((REQUEST, self.sim.now, client, arrival, start))
 
+    def span(self, track, name, start, end, **args) -> None:
+        """One completed duration on a named track (e.g. a migration's
+        cordon-to-uncordon window), recorded once at its end."""
+        self._append((SPAN, self.sim.now, track, name, start, end,
+                      tuple(sorted(args.items()))))
+
     def sim_event(self, label) -> None:
         """One executed calendar event (engine tracing; high volume)."""
         self._append((SIM_EVENT, self.sim.now, label))
@@ -166,6 +173,9 @@ class NullTracer:
         return None
 
     def request(self, client, arrival, start) -> None:
+        return None
+
+    def span(self, track, name, start, end, **args) -> None:
         return None
 
     def sim_event(self, label) -> None:

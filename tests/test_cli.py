@@ -111,6 +111,40 @@ def test_fleet_cli_json_report(capsys, tmp_path):
     assert on_disk == payload
 
 
+def test_fleet_cli_rebalance_runs(capsys, tmp_path):
+    mig_path = tmp_path / "migrations.json"
+    rc = main(["fleet", "--num-gpus", "2", "--duration", "0.1",
+               "--seed", "0", "--crashes", "0", "--degrades", "0",
+               "--be-tenants", "1", "--hp-load", "0.15",
+               "--be-load", "0.15", "--placement", "adversarial",
+               "--rebalance", "--rebalance-interval", "0.02",
+               "--min-gain", "0.01",
+               "--migration-report-out", str(mig_path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "migrations:" in out
+    report = json.loads(mig_path.read_text())
+    assert report["started"] >= 1
+    assert report["records"][0]["transitions"][0][1] == "planned"
+
+
+def test_fleet_cli_rejects_rebalance_without_placement():
+    with pytest.raises(ValueError):
+        main(["fleet", "--num-gpus", "2", "--duration", "0.02",
+              "--crashes", "0", "--degrades", "0", "--rebalance"])
+
+
+def test_fleet_cli_rebalance_help_lists_flags(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        build_parser().parse_args(["fleet", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    for flag in ("--rebalance", "--placement", "--rebalance-interval",
+                 "--migration-cooldown", "--max-inflight-migrations",
+                 "--min-gain", "--migration-report-out"):
+        assert flag in out, f"{flag} missing from fleet --help"
+
+
 def test_profile_cli(capsys, tmp_path):
     out_path = tmp_path / "prof.json"
     rc = main(["profile", "--model", "mobilenet_v2", "--kind", "inference",

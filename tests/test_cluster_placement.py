@@ -214,3 +214,99 @@ def test_prediction_matches_measured_collocation():
     ranked_by_prediction = sorted(partners, key=predicted.get)
     ranked_by_measurement = sorted(partners, key=measured.get)
     assert ranked_by_prediction == ranked_by_measurement
+
+
+# ----------------------------------------------------------------------
+# Incremental re-planning (live migration)
+# ----------------------------------------------------------------------
+def test_replan_proposes_obvious_spread_move():
+    from repro.cluster.placement import replan_placement
+
+    # Two identical tenants share gpu0 while gpu1 sits empty: the one
+    # best move is to spread them, gaining the full pair interference.
+    def interference(a, b):
+        return 0.8
+
+    proposals = replan_placement({"a": 0, "b": 0}, 2, interference)
+    assert len(proposals) == 1
+    move = proposals[0]
+    assert move.src == 0 and move.dst == 1
+    assert move.gain == pytest.approx(0.8)
+    assert move.tenant == "a"  # deterministic tie-break on name
+
+
+def test_replan_respects_pins_capacity_and_destinations():
+    from repro.cluster.placement import replan_placement
+
+    def interference(a, b):
+        return 0.5
+
+    # Pinned tenants never move.
+    assert replan_placement({"a": 0, "b": 0}, 2, interference,
+                            pinned={"a", "b"}) == []
+    # A full destination is skipped.
+    assert replan_placement({"a": 0, "b": 0, "c": 1, "d": 1}, 2,
+                            interference) == []
+    # allowed_gpus restricts destinations.
+    assert replan_placement({"a": 0, "b": 0}, 3, interference,
+                            allowed_gpus={0}) == []
+    moves = replan_placement({"a": 0, "b": 0}, 3, interference,
+                             allowed_gpus={2})
+    assert [m.dst for m in moves] == [2]
+
+
+def test_replan_min_gain_and_max_moves():
+    from repro.cluster.placement import replan_placement
+
+    def interference(a, b):
+        return 0.1
+
+    assert replan_placement({"a": 0, "b": 0}, 2, interference,
+                            min_gain=0.5) == []
+    many = {name: 0 for name in "abcdef"}
+    moves = replan_placement(many, 6, interference, max_per_gpu=6,
+                             max_moves=2)
+    assert len(moves) == 2
+
+
+def test_replan_validates_inputs():
+    from repro.cluster.placement import replan_placement
+
+    with pytest.raises(ValueError):
+        replan_placement({"a": 0}, 0, lambda a, b: 0.0)
+    with pytest.raises(ValueError):
+        replan_placement({"a": 5}, 2, lambda a, b: 0.0)
+
+
+def test_adversarial_assignment_packs_worst_pairs():
+    from repro.cluster.placement import adversarial_assignment
+
+    compute_a = sig("ca", 0.9, 0.1)
+    compute_b = sig("cb", 0.85, 0.1)
+    memory_a = sig("ma", 0.1, 0.9)
+    memory_b = sig("mb", 0.1, 0.85)
+    sigs = {s.name: s for s in (compute_a, compute_b, memory_a, memory_b)}
+    assignment = adversarial_assignment(sigs, 4)
+    # Like pairs together (worst interference), even with GPUs to spare.
+    assert assignment["ca"] == assignment["cb"]
+    assert assignment["ma"] == assignment["mb"]
+    assert assignment["ca"] != assignment["ma"]
+    # And it is strictly worse than the planner's complementary packing.
+    plan = plan_placement(list(sigs.values()), 2)
+    adversarial_worst = max(
+        pair_interference(sigs[a], sigs[b])
+        for a in sigs for b in sigs
+        if a < b and assignment[a] == assignment[b])
+    planned_worst = max(p.interference for p in plan)
+    assert adversarial_worst > planned_worst
+
+
+def test_adversarial_assignment_validates():
+    from repro.cluster.placement import adversarial_assignment
+
+    sigs = {"a": sig("a", 0.5, 0.5)}
+    with pytest.raises(ValueError):
+        adversarial_assignment(sigs, 0)
+    three = {n: sig(n, 0.5, 0.5) for n in "abc"}
+    with pytest.raises(ValueError):
+        adversarial_assignment(three, 1, max_per_gpu=2)

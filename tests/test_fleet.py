@@ -62,6 +62,55 @@ def test_gpu_health_score():
     assert health.score() == 1.0
 
 
+def test_gpu_health_window_of_one():
+    health = GpuHealth(window=1, latency_tolerance=2.0)
+    health.observe(False)
+    assert health.score() == 0.0
+    # A single new observation fully replaces the window.
+    health.observe(True, 1.0)
+    assert health.score() == 1.0
+    with pytest.raises(ValueError):
+        GpuHealth(window=0)
+    with pytest.raises(ValueError):
+        GpuHealth(latency_tolerance=0.0)
+
+
+def test_gpu_health_mean_exactly_at_tolerance():
+    # The latency penalty is strict: a mean exactly at the tolerance
+    # does not scale the score down.
+    health = GpuHealth(window=4, latency_tolerance=2.0)
+    for _ in range(4):
+        health.observe(True, 2.0)
+    assert health.score() == 1.0
+    health.observe(True, 2.0 + 4e-9)  # nudge the mean past tolerance
+    assert health.score() < 1.0
+
+
+def test_gpu_health_reset_clears_window():
+    health = GpuHealth(window=8, latency_tolerance=2.0)
+    for _ in range(8):
+        health.observe(False, 10.0)
+    assert health.score() == 0.0
+    health.reset()
+    assert health.score() == 1.0  # clean slate, no observations
+
+
+def test_degraded_recover_resets_health_window():
+    # Degrade a GPU hard, then recover it: the stale inflated-latency
+    # samples must not keep the recovered GPU demoted in routing.
+    result = run_fleet(
+        seed=0, duration=0.15, num_gpus=2,
+        plan=FaultPlan((GpuDegrade(0, at_time=0.03, slowdown=8.0),
+                        GpuRecover(0, at_time=0.1))))
+    gpu0 = result.report["gpus"]["gpu0"]
+    assert gpu0["state"] == "up"
+    assert gpu0["recoveries"] == 1
+    # Post-recovery the health score reflects only fresh samples; with
+    # the slowdown gone it must sit near perfect, not at the degraded
+    # floor the old window would pin it to.
+    assert gpu0["health"] > 0.9
+
+
 def test_fleet_fault_events_validate():
     with pytest.raises(ValueError):
         GpuCrash(-1, at_time=0.1)
@@ -239,7 +288,7 @@ def test_fleet_scenario_api_integration():
     assert canonical["kind"] == "fleet"
     assert set(canonical["result"]) == {
         "num_gpus", "backend", "plan", "hp_latency", "jobs", "report",
-        "routing", "ledger"}
+        "routing", "migration", "ledger"}
 
 
 def test_run_fleet_scenario_wrapper():
