@@ -8,6 +8,11 @@
     python -m repro sweep      --scenarios overload_ref --seeds 0,1,2,3
     python -m repro bench      --smoke
     python -m repro profile    --model bert --kind inference
+    python -m repro scenarios  --json
+    python -m repro serve      --socket /tmp/repro-serve.sock --workers 2
+    python -m repro submit     fleet_ref --wait
+    python -m repro status     job-0001
+    python -m repro cancel     job-0001
 
 Every run subcommand builds a :class:`repro.experiments.scenario.Scenario`
 and executes it through the one ``run(scenario)`` entry point.  Prints
@@ -255,6 +260,80 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("inference", "training"))
     p.add_argument("--device", default="V100-16GB", choices=sorted(DEVICES))
     p.add_argument("--out", default=None, help="write the profile JSON here")
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("scenarios",
+                       help="list the named-scenario catalog (the valid "
+                            "submit/sweep/bench targets)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the catalog as JSON")
+
+    p = sub.add_parser("serve",
+                       help="run the always-on scheduler daemon "
+                            "(submit/status/cancel jobs over a socket)")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="Unix socket path (default: "
+                        "/tmp/repro-serve.sock unless --port is given)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind host (with --port)")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP port (0 = ephemeral); overrides --socket")
+    p.add_argument("--workers", type=int, default=2,
+                   help="job worker threads (default 2)")
+    p.add_argument("--max-pending", type=int, default=16,
+                   help="bounded pending-queue depth; submissions past "
+                        "it are rejected (default 16)")
+    p.add_argument("--pace", type=float, default=0.0,
+                   help="wall-clock pacing: simulated seconds per wall "
+                        "second (0 = run flat out)")
+    p.add_argument("--history-out", default=None, metavar="PATH",
+                   help="write the JSON job history here on shutdown")
+    p.add_argument("--telemetry-interval", type=float, default=1.0,
+                   help="seconds between telemetry ring snapshots "
+                        "(default 1.0; 0 disables the ticker)")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   help="max seconds to wait for running jobs on "
+                        "shutdown before aborting them (default: wait)")
+
+    def add_address(p):
+        p.add_argument("--address", default=None,
+                       help="daemon address (unix:/path or tcp:host:port; "
+                            "default unix:/tmp/repro-serve.sock)")
+
+    p = sub.add_parser("submit",
+                       help="submit a job to a running serve daemon")
+    add_address(p)
+    p.add_argument("scenario",
+                   help="registry scenario name (see 'repro scenarios')")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duration", type=float, default=None,
+                   help="simulated-seconds override")
+    p.add_argument("--priority", type=int, default=0,
+                   help="queue priority (higher dispatches first)")
+    p.add_argument("--set", action="append", default=[], metavar="KEY=VAL",
+                   help="scenario override (repeatable); values parse "
+                        "as JSON, falling back to strings")
+    p.add_argument("--wait", action="store_true",
+                   help="poll status until the job finishes and print "
+                        "the result")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait timeout in seconds (default 300)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable output")
+
+    p = sub.add_parser("status",
+                       help="job status (or the daemon summary) from a "
+                            "running serve daemon")
+    add_address(p)
+    p.add_argument("job", nargs="?", default=None,
+                   help="job id (omit for the daemon summary)")
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("cancel",
+                       help="cancel a queued or running job on a "
+                            "running serve daemon")
+    add_address(p)
+    p.add_argument("job", help="job id to cancel")
     p.add_argument("--json", action="store_true")
     return parser
 
@@ -568,6 +647,153 @@ def _run_bench(args) -> int:
     return 0
 
 
+def _run_scenarios(args) -> None:
+    from repro.experiments.registry import scenario_catalog
+
+    catalog = scenario_catalog()
+    if args.json:
+        print(json.dumps(catalog, indent=1, sort_keys=True))
+        return
+    rows = []
+    for name, entry in catalog.items():
+        params = entry["params"]
+        if entry["kind"] == "experiment":
+            summary = (f"{params['backend']} {'+'.join(params['jobs'])} "
+                       f"duration={params['duration']:g}s")
+        else:
+            summary = " ".join(f"{k}={v}" for k, v in params.items()) \
+                or "(defaults)"
+        rows.append([name, entry["kind"], summary])
+    print(format_table(["scenario", "kind", "key params"], rows))
+
+
+def _serve_address(args) -> str:
+    from repro.serve import DEFAULT_ADDRESS
+
+    if getattr(args, "port", None) is not None:
+        return f"tcp:{args.host}:{args.port}"
+    if getattr(args, "socket", None):
+        return f"unix:{args.socket}"
+    return getattr(args, "address", None) or DEFAULT_ADDRESS
+
+
+def _run_serve(args) -> int:
+    import logging
+
+    from repro.serve import ServeConfig, ServeServer
+
+    logging.basicConfig(level=logging.INFO,
+                        format="%(asctime)s %(name)s %(message)s")
+    config = ServeConfig(address=_serve_address(args), workers=args.workers,
+                         max_pending=args.max_pending, pace=args.pace,
+                         history_path=args.history_out,
+                         telemetry_interval=args.telemetry_interval,
+                         drain_timeout=args.drain_timeout)
+    server = ServeServer(config)
+    print(f"listening on {server.start()}", flush=True)
+    return server.serve_forever()
+
+
+def _parse_override(item: str):
+    key, sep, value = item.partition("=")
+    if not sep or not key:
+        raise SystemExit(f"error: bad --set {item!r}; expected KEY=VAL")
+    try:
+        return key, json.loads(value)
+    except ValueError:
+        return key, value
+
+
+def _run_submit(args) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    overrides = dict(_parse_override(item) for item in args.set)
+    with ServeClient(_serve_address(args)) as client:
+        try:
+            job = client.submit(name=args.scenario, seed=args.seed,
+                                duration=args.duration,
+                                overrides=overrides or None,
+                                priority=args.priority)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if not args.wait:
+            if args.json:
+                print(json.dumps({"job": job, "state": "QUEUED"}))
+            else:
+                print(f"submitted {job}")
+            return 0
+        record = client.wait(job, timeout=args.timeout)
+        if args.json:
+            payload = dict(record)
+            if record["state"] == "COMPLETED":
+                payload["result"] = client.result(job)
+            print(json.dumps(payload, indent=1, sort_keys=True))
+            return 0 if record["state"] == "COMPLETED" else 1
+        print(f"{job}: {record['state']}"
+              + (f" ({record['error']})" if record.get("error") else ""))
+        if record["state"] == "COMPLETED":
+            result = client.result(job)
+            print(f"events: {result['events_processed']}   "
+                  f"sim_time: {result['sim_time']:g}s   "
+                  f"seed: {result['seed']}")
+            return 0
+        return 1
+
+
+def _run_status(args) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    with ServeClient(_serve_address(args)) as client:
+        try:
+            record = client.status(args.job)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(record, indent=1, sort_keys=True))
+        return 0
+    if args.job is not None:
+        line = f"{record['id']}: {record['state']}"
+        if record.get("error"):
+            line += f" ({record['error']})"
+        print(line)
+        return 0
+    daemon = record["daemon"]
+    print(f"daemon: {daemon['address']}   uptime {daemon['uptime_s']:.1f}s   "
+          f"admission {daemon['admission']}")
+    print(f"queue: {daemon['queue_depth']}/{daemon['max_pending']}   "
+          f"running: {', '.join(daemon['running']) or '(idle)'}")
+    print(f"counters: {daemon['counters']}")
+    if record["jobs"]:
+        rows = [[j["id"], j["state"], str(j["priority"]),
+                 j["spec"].get("name") or j["spec"].get("kind", "?")]
+                for j in record["jobs"]]
+        print(format_table(["job", "state", "prio", "scenario"], rows))
+    return 0
+
+
+def _run_cancel(args) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    with ServeClient(_serve_address(args)) as client:
+        try:
+            response = client.cancel(args.job)
+        except ServeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(response, indent=1, sort_keys=True))
+        return 0
+    if response.get("canceled"):
+        print(f"{args.job}: canceled")
+    elif response.get("cancel_requested"):
+        print(f"{args.job}: cancel requested ({response['state']})")
+    else:
+        print(f"{args.job}: already {response['state']}; not canceled")
+    return 0
+
+
 def _run_profile(args) -> None:
     profile = get_profile(args.model, args.kind, get_device(args.device))
     if args.out:
@@ -607,6 +833,17 @@ def main(argv=None) -> int:
         return 0
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "scenarios":
+        _run_scenarios(args)
+        return 0
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "status":
+        return _run_status(args)
+    if args.command == "cancel":
+        return _run_cancel(args)
     result = run_scenario(_experiment_scenario(args)).result
     _print_experiment(result, args.json)
     return 0

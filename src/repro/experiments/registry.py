@@ -29,6 +29,7 @@ __all__ = [
     "SCENARIOS",
     "make_scenario",
     "scenario_names",
+    "scenario_catalog",
 ]
 
 DEFAULT_DURATION = 4.0
@@ -209,3 +210,35 @@ def make_scenario(name: str, seed: int = 0,
 
 def scenario_names() -> Tuple[str, ...]:
     return tuple(sorted(SCENARIOS))
+
+
+def scenario_catalog() -> Dict[str, Dict]:
+    """JSON-safe description of every named scenario: name -> ``{kind,
+    params}``.
+
+    Built by instantiating each catalog entry at its defaults (cheap:
+    nothing runs), so the summary always matches what a defaults-only
+    ``make_scenario(name)`` would execute.  Shared by ``repro
+    scenarios`` and the serve daemon's ``scenarios`` verb — the list of
+    valid submit targets.
+    """
+    catalog: Dict[str, Dict] = {}
+    for name in scenario_names():
+        scenario = SCENARIOS[name]()
+        if scenario.kind == "experiment":
+            cfg = scenario.experiment
+            params = {
+                "backend": cfg.backend,
+                "device": cfg.device,
+                "duration": cfg.duration,
+                "jobs": [
+                    f"{'hp' if job.high_priority else 'be'}:"
+                    f"{job.model}:{job.kind}"
+                    for job in cfg.jobs
+                ],
+            }
+        else:
+            params = {k: v for k, v in sorted(scenario.params.items())
+                      if k != "seed"}
+        catalog[name] = {"kind": scenario.kind, "params": params}
+    return catalog

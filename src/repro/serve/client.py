@@ -1,0 +1,189 @@
+"""Client library for the serve daemon.
+
+:class:`ServeClient` wraps one socket connection with typed helpers for
+every protocol verb, so tests, examples, CI, and the ``repro
+submit/status/cancel`` CLI verbs all drive the daemon the same way::
+
+    with ServeClient("unix:/tmp/repro-serve.sock") as client:
+        job = client.submit(name="fleet_ref", seed=0)
+        final = client.wait(job)
+        canonical = client.result_json(job)   # byte-identical to a
+                                              # direct run(scenario)
+
+Server-side errors surface as :class:`ServeError` carrying the
+structured ``code`` (``queue_full``, ``unknown_job``, ...) so callers
+can branch on overload/reject outcomes instead of parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+from .protocol import (
+    DEFAULT_ADDRESS,
+    LineReader,
+    connect,
+)
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A structured error response from the daemon."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """One connection to a serve daemon (context-manager friendly)."""
+
+    def __init__(self, address: str = DEFAULT_ADDRESS,
+                 timeout: float = 60.0):
+        self.address = address
+        self._sock = connect(address, timeout=timeout)
+        self._reader = LineReader(self._sock)
+
+    # ------------------------------------------------------------------
+    # Plumbing
+
+    def request(self, verb: str, **fields: Any) -> Dict[str, Any]:
+        """Send one request and return the (single) response payload."""
+        self._send(verb, **fields)
+        return self._receive()
+
+    def _send(self, verb: str, **fields: Any) -> None:
+        payload = {"verb": verb}
+        payload.update({k: v for k, v in fields.items() if v is not None})
+        self._sock.sendall(
+            (json.dumps(payload, separators=(",", ":")) + "\n")
+            .encode("utf-8"))
+
+    def _receive(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if line is None:
+            raise ConnectionError("daemon closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(error.get("code", "unknown"),
+                             error.get("message", "daemon error"))
+        return response
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def connect_retry(cls, address: str = DEFAULT_ADDRESS,
+                      timeout: float = 10.0,
+                      poll: float = 0.05) -> "ServeClient":
+        """Connect to a daemon that may still be starting (CI helper):
+        retry until ``timeout`` wall seconds, then raise."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                client = cls(address)
+                client.ping()
+                return client
+            except (OSError, ConnectionError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)
+
+    # ------------------------------------------------------------------
+    # Verbs
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")
+
+    def scenarios(self) -> Dict[str, Dict]:
+        """The registry catalog of valid submit targets."""
+        return self.request("scenarios")["scenarios"]
+
+    def submit(self, name: Optional[str] = None,
+               scenario: Optional[Dict[str, Any]] = None,
+               seed: int = 0, duration: Optional[float] = None,
+               overrides: Optional[Dict[str, Any]] = None,
+               priority: int = 0) -> str:
+        """Submit a registry scenario (``name`` + ``overrides``) or an
+        inline params scenario (``scenario={"kind", "params"}``);
+        returns the job id.  Raises :class:`ServeError` with code
+        ``queue_full`` when the bounded pending queue rejects it."""
+        response = self.request("submit", name=name, scenario=scenario,
+                                seed=seed, duration=duration,
+                                overrides=overrides, priority=priority)
+        return response["job"]
+
+    def status(self, job: Optional[str] = None) -> Dict[str, Any]:
+        """One job's lifecycle record, or (with no ``job``) the daemon
+        summary ``{"daemon": snapshot, "jobs": [active...]}``."""
+        response = self.request("status", job=job)
+        return response["job"] if job is not None else {
+            "daemon": response["daemon"], "jobs": response["jobs"]}
+
+    def result(self, job: str) -> Dict[str, Any]:
+        """The completed job's canonical result, parsed."""
+        return json.loads(self.result_json(job))
+
+    def result_json(self, job: str) -> str:
+        """The completed job's canonical result as the exact byte
+        string ``run(scenario).to_json()`` produced on the daemon —
+        the determinism contract's comparison form."""
+        response = self.request("result", job=job)
+        if response.get("result_json") is None:
+            raise ServeError("no_result",
+                             f"job {job} finished {response['state']}: "
+                             f"{response.get('error')}")
+        return response["result_json"]
+
+    def cancel(self, job: str) -> Dict[str, Any]:
+        """Cancel a job.  Queued jobs cancel immediately
+        (``canceled: true``); dispatched/running jobs get a cooperative
+        cancel request and reach CANCELED shortly after."""
+        return self.request("cancel", job=job)
+
+    def history(self, limit: int = 50) -> List[Dict[str, Any]]:
+        return self.request("history", limit=limit)["jobs"]
+
+    def telemetry(self, ring: bool = False) -> Dict[str, Any]:
+        response = self.request("telemetry", ring=ring or None)
+        return response
+
+    def telemetry_stream(self, follow: int, interval: float = 0.1,
+                         ) -> Iterator[Dict[str, Any]]:
+        """Subscribe to ``follow`` periodic snapshots (one per yielded
+        dict) spaced ``interval`` seconds apart."""
+        self._send("telemetry", follow=follow, interval=interval)
+        for _ in range(follow):
+            yield self._receive()["snapshot"]
+
+    def shutdown(self, mode: str = "drain") -> Dict[str, Any]:
+        return self.request("shutdown", mode=mode)
+
+    def wait(self, job: str, timeout: float = 120.0,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll ``status`` until the job reaches a terminal state;
+        returns the final record.  Raises TimeoutError past
+        ``timeout``."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job)
+            if record["state"] in ("COMPLETED", "FAILED", "CANCELED"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job} still {record['state']} after {timeout}s")
+            time.sleep(poll)

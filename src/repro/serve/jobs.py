@@ -1,0 +1,211 @@
+"""Job objects, lifecycle state machine, and the bounded pending queue.
+
+A submitted scenario becomes a :class:`Job` that moves through
+
+    QUEUED -> DISPATCHED -> RUNNING -> {COMPLETED, FAILED, CANCELED}
+
+where QUEUED and DISPATCHED jobs can also jump straight to CANCELED
+(cancel verb, or shutdown draining the queue).  Transitions are
+validated — an illegal move raises :class:`LifecycleError` rather than
+silently corrupting state, which is what keeps the daemon's accounting
+exact under concurrent cancels.
+
+The :class:`PendingQueue` is the PR-2 overload idiom applied to jobs
+instead of kernels: a bounded priority queue that *rejects at
+admission* when full (``queue_full``) instead of buffering unbounded
+work.  Priority is a submit-time integer (higher first); ties dequeue
+FIFO by submission sequence.
+"""
+
+from __future__ import annotations
+
+import threading
+from heapq import heappop, heappush
+from itertools import count
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.scenario import Scenario
+
+__all__ = [
+    "QUEUED", "DISPATCHED", "RUNNING", "COMPLETED", "FAILED", "CANCELED",
+    "TERMINAL_STATES", "JOB_STATES",
+    "LifecycleError", "QueueFull",
+    "Job", "PendingQueue",
+]
+
+QUEUED = "QUEUED"
+DISPATCHED = "DISPATCHED"
+RUNNING = "RUNNING"
+COMPLETED = "COMPLETED"
+FAILED = "FAILED"
+CANCELED = "CANCELED"
+
+JOB_STATES = (QUEUED, DISPATCHED, RUNNING, COMPLETED, FAILED, CANCELED)
+TERMINAL_STATES = frozenset((COMPLETED, FAILED, CANCELED))
+
+_ALLOWED = {
+    QUEUED: frozenset((DISPATCHED, CANCELED)),
+    DISPATCHED: frozenset((RUNNING, CANCELED)),
+    RUNNING: frozenset((COMPLETED, FAILED, CANCELED)),
+    COMPLETED: frozenset(),
+    FAILED: frozenset(),
+    CANCELED: frozenset(),
+}
+
+
+class LifecycleError(RuntimeError):
+    """An illegal job state transition."""
+
+
+class QueueFull(RuntimeError):
+    """The bounded pending queue rejected a submission."""
+
+
+class Job:
+    """One submitted scenario run and its full lifecycle record.
+
+    ``spec`` is the JSON-safe submission record (name/kind, seed,
+    duration, overrides) echoed back on status; ``scenario`` is the
+    built :class:`Scenario` the worker executes.  ``result_json`` is
+    the *exact* canonical string ``run(scenario).to_json()`` produced —
+    stored verbatim so the daemon's determinism contract (byte-identical
+    to a direct run) cannot be eroded by a re-serialization.
+    """
+
+    __slots__ = ("job_id", "scenario", "spec", "priority", "state",
+                 "error", "result_json", "events_processed", "sim_time",
+                 "cancel_requested", "transitions", "_lock")
+
+    def __init__(self, job_id: str, scenario: Scenario, spec: Dict[str, Any],
+                 priority: int = 0, *, clock: float = 0.0):
+        self.job_id = job_id
+        self.scenario = scenario
+        self.spec = spec
+        self.priority = int(priority)
+        self.state = QUEUED
+        self.error: Optional[str] = None
+        self.result_json: Optional[str] = None
+        self.events_processed: Optional[int] = None
+        self.sim_time: Optional[float] = None
+        self.cancel_requested = False
+        # (state, wall-clock seconds) pairs, QUEUED first.
+        self.transitions: List[List[Any]] = [[QUEUED, clock]]
+        self._lock = threading.Lock()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def transition(self, state: str, *, clock: float = 0.0,
+                   error: Optional[str] = None) -> None:
+        """Move to ``state``; raises :class:`LifecycleError` if illegal."""
+        with self._lock:
+            if state not in _ALLOWED[self.state]:
+                raise LifecycleError(
+                    f"{self.job_id}: illegal transition "
+                    f"{self.state} -> {state}")
+            self.state = state
+            if error is not None:
+                self.error = error
+            self.transitions.append([state, clock])
+
+    def try_transition(self, state: str, *, clock: float = 0.0,
+                       error: Optional[str] = None) -> bool:
+        """Like :meth:`transition` but returns False instead of raising
+        when the move is illegal (lost races with a concurrent cancel)."""
+        with self._lock:
+            if state not in _ALLOWED[self.state]:
+                return False
+            self.state = state
+            if error is not None:
+                self.error = error
+            self.transitions.append([state, clock])
+            return True
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe record for status/history responses."""
+        with self._lock:
+            return {
+                "id": self.job_id,
+                "state": self.state,
+                "priority": self.priority,
+                "spec": self.spec,
+                "seed": self.scenario.seed,
+                "cancel_requested": self.cancel_requested,
+                "error": self.error,
+                "events_processed": self.events_processed,
+                "sim_time": self.sim_time,
+                "has_result": self.result_json is not None,
+                "transitions": [list(t) for t in self.transitions],
+            }
+
+
+class PendingQueue:
+    """Bounded, thread-safe priority queue of QUEUED jobs.
+
+    ``push`` raises :class:`QueueFull` past ``max_pending`` —
+    reject-when-full, never block-the-submitter (the daemon must keep
+    answering status requests under overload).  ``pop`` blocks up to
+    ``timeout`` so worker threads can poll their stop flag.
+    """
+
+    def __init__(self, max_pending: int):
+        if max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
+        self.max_pending = max_pending
+        self._heap: List[tuple] = []
+        self._removed: set = set()
+        self._seq = count()
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap) - len(self._removed)
+
+    def push(self, job: Job) -> None:
+        with self._cond:
+            if len(self._heap) - len(self._removed) >= self.max_pending:
+                raise QueueFull(
+                    f"pending queue is full ({self.max_pending} jobs)")
+            heappush(self._heap, (-job.priority, next(self._seq), job))
+            self._cond.notify()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Highest-priority job, or None when empty after ``timeout``."""
+        with self._cond:
+            if not self._live_locked():
+                self._cond.wait(timeout)
+            return self._pop_locked()
+
+    def remove(self, job_id: str) -> Optional[Job]:
+        """Pull a specific job out of the queue (cancel path).  Lazy,
+        like the engine calendar: the heap entry is skipped on pop."""
+        with self._cond:
+            for _, _, job in self._heap:
+                if job.job_id == job_id and job.job_id not in self._removed:
+                    self._removed.add(job.job_id)
+                    return job
+            return None
+
+    def drain(self) -> List[Job]:
+        """Empty the queue, returning the jobs in dequeue order
+        (shutdown path)."""
+        drained = []
+        with self._cond:
+            while True:
+                job = self._pop_locked()
+                if job is None:
+                    return drained
+                drained.append(job)
+
+    def _live_locked(self) -> bool:
+        return len(self._heap) - len(self._removed) > 0
+
+    def _pop_locked(self) -> Optional[Job]:
+        while self._heap:
+            _, _, job = heappop(self._heap)
+            if job.job_id in self._removed:
+                self._removed.discard(job.job_id)
+                continue
+            return job
+        return None

@@ -1,0 +1,204 @@
+"""Wire protocol for the serve daemon: newline-delimited JSON.
+
+One request per line, one (or more, for streaming verbs) response lines
+back.  Requests are JSON objects with a ``verb`` field; responses are
+JSON objects with ``ok`` (bool) plus either the verb's payload or an
+``error`` object ``{"code", "message"}``.  The framing is deliberately
+dumb — any language with a socket and a JSON parser is a client.
+
+Robustness rules (tested in tests/test_serve.py):
+
+* malformed JSON -> ``bad_request`` error, connection stays open;
+* unknown verb -> ``unknown_verb`` error, connection stays open;
+* a line longer than :data:`MAX_LINE_BYTES` -> ``oversized`` error,
+  connection closed (the daemon will not buffer unbounded input);
+* a client disconnecting mid-request is logged and dropped without
+  affecting the daemon or other connections.
+
+Addresses are strings: ``unix:/path/to.sock`` for Unix domain sockets
+or ``tcp:HOST:PORT`` (plain ``HOST:PORT`` is accepted too).  See
+DESIGN.md §6.7 for the full schema.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "DEFAULT_ADDRESS",
+    "VERBS",
+    "ProtocolError",
+    "encode",
+    "decode_request",
+    "ok_response",
+    "error_response",
+    "parse_address",
+    "format_address",
+    "create_listener",
+    "connect",
+    "LineReader",
+]
+
+#: Hard bound on one request/response line (1 MiB).  Inputs past this
+#: are rejected with an ``oversized`` error instead of buffered.
+MAX_LINE_BYTES = 1 << 20
+
+#: Where the CLI verbs look for a daemon when ``--address`` is omitted.
+DEFAULT_ADDRESS = "unix:/tmp/repro-serve.sock"
+
+#: Every verb the daemon understands.
+VERBS = ("submit", "status", "result", "cancel", "history",
+         "telemetry", "scenarios", "shutdown", "ping")
+
+
+class ProtocolError(Exception):
+    """A request the daemon rejects with a structured error response."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+def encode(payload: Dict[str, Any]) -> bytes:
+    """One NDJSON frame: compact, key-sorted, newline-terminated."""
+    return (json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                       default=float) + "\n").encode("utf-8")
+
+
+def decode_request(line: bytes) -> Dict[str, Any]:
+    """Parse one request line; raise :class:`ProtocolError` on garbage."""
+    try:
+        request = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("bad_request", f"malformed JSON: {exc}") from exc
+    if not isinstance(request, dict):
+        raise ProtocolError("bad_request",
+                            "request must be a JSON object with a 'verb'")
+    verb = request.get("verb")
+    if not isinstance(verb, str):
+        raise ProtocolError("bad_request", "request is missing a 'verb'")
+    if verb not in VERBS:
+        raise ProtocolError(
+            "unknown_verb",
+            f"unknown verb {verb!r}; expected one of {', '.join(VERBS)}")
+    return request
+
+
+def ok_response(verb: str, **payload: Any) -> Dict[str, Any]:
+    response = {"ok": True, "verb": verb}
+    response.update(payload)
+    return response
+
+
+def error_response(code: str, message: str) -> Dict[str, Any]:
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+def parse_address(address: str) -> Tuple[str, Any]:
+    """``unix:/path`` -> ("unix", path); ``tcp:host:port``/``host:port``
+    -> ("tcp", (host, port))."""
+    if address.startswith("unix:"):
+        path = address[len("unix:"):]
+        if not path:
+            raise ValueError(f"empty unix socket path in {address!r}")
+        return "unix", path
+    spec = address[len("tcp:"):] if address.startswith("tcp:") else address
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"bad address {address!r}; expected unix:/path or tcp:host:port")
+    try:
+        return "tcp", (host, int(port))
+    except ValueError as exc:
+        raise ValueError(f"bad port in address {address!r}") from exc
+
+
+def format_address(family: str, target: Any) -> str:
+    if family == "unix":
+        return f"unix:{target}"
+    host, port = target
+    return f"tcp:{host}:{port}"
+
+
+def create_listener(address: str, backlog: int = 16) -> Tuple[socket.socket, str]:
+    """Bind+listen on ``address``; returns (socket, resolved address).
+
+    TCP port 0 resolves to the ephemeral port actually bound — that is
+    how tests and CI get collision-free addresses.
+    """
+    family, target = parse_address(address)
+    if family == "unix":
+        import os
+
+        # A dead daemon leaves its socket file behind; binding over it
+        # needs the unlink.  A *live* daemon is protected by connect():
+        # callers who care race-check with ping first.
+        try:
+            os.unlink(target)
+        except FileNotFoundError:
+            pass
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(target)
+    else:
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(target)
+        target = (target[0], listener.getsockname()[1])
+    listener.listen(backlog)
+    return listener, format_address(family, target)
+
+
+def connect(address: str, timeout: Optional[float] = None) -> socket.socket:
+    """Open a client connection to a daemon at ``address``."""
+    family, target = parse_address(address)
+    if family == "unix":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    else:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    sock.connect(target)
+    return sock
+
+
+class LineReader:
+    """Incremental newline framing over a stream socket with the
+    :data:`MAX_LINE_BYTES` bound enforced."""
+
+    def __init__(self, sock: socket.socket,
+                 max_line: int = MAX_LINE_BYTES):
+        self._sock = sock
+        self._max_line = max_line
+        self._buffer = bytearray()
+
+    def readline(self) -> Optional[bytes]:
+        """Next complete line (without the newline), or None on EOF.
+
+        Raises :class:`ProtocolError` (code ``oversized``) when the
+        peer sends more than ``max_line`` bytes without a newline.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[:newline + 1]
+                return line
+            if len(self._buffer) > self._max_line:
+                raise ProtocolError(
+                    "oversized",
+                    f"request exceeds {self._max_line} bytes")
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                return None
+            self._buffer.extend(chunk)
+
+    def lines(self) -> Iterator[bytes]:
+        while True:
+            line = self.readline()
+            if line is None:
+                return
+            if line.strip():
+                yield line

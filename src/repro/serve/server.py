@@ -1,0 +1,613 @@
+"""The always-on scheduler daemon behind ``python -m repro serve``.
+
+A :class:`ServeServer` owns four kinds of threads:
+
+* an **accept loop** on a Unix/TCP listener, spawning one handler
+  thread per client connection (NDJSON request/response, see
+  :mod:`repro.serve.protocol`);
+* a **worker pool** that pops :class:`~repro.serve.jobs.Job` objects
+  off the bounded :class:`~repro.serve.jobs.PendingQueue` and executes
+  them through the one ``run(scenario)`` entry point — the daemon adds
+  queueing, lifecycle, and cancellation *around* the Scenario
+  machinery, never a second execution path, which is what makes the
+  determinism contract (daemon result byte-identical to a direct run at
+  the same seed) hold by construction;
+* a **telemetry ticker** recording periodic snapshots into a ring; and
+* transient **shutdown** threads (signal handlers and the ``shutdown``
+  verb both funnel into the idempotent :meth:`ServeServer.shutdown`).
+
+Cancellation: queued jobs are pulled straight out of the pending queue;
+dispatched/running jobs get ``cancel_requested`` set, which the worker
+checks before starting and the simulation engine polls every 1024
+events via the thread-local abort hook
+(:func:`repro.sim.engine.set_abort_check`) — the same early-exit shape
+as the client-deregistration drain, applied to the whole run.
+
+Graceful shutdown (SIGINT/SIGTERM or the ``shutdown`` verb): admission
+closes, queued jobs are canceled, running jobs drain (or are aborted in
+``mode="now"``), the JSON job history is persisted, and the process
+exits 0.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.registry import make_scenario, scenario_catalog
+from repro.experiments.scenario import Scenario, run as run_scenario
+from repro.sim.engine import RunAborted, set_abort_check
+
+from .jobs import (
+    CANCELED,
+    COMPLETED,
+    DISPATCHED,
+    FAILED,
+    JOB_STATES,
+    QUEUED,
+    RUNNING,
+    Job,
+    PendingQueue,
+    QueueFull,
+)
+from .protocol import (
+    DEFAULT_ADDRESS,
+    LineReader,
+    ProtocolError,
+    create_listener,
+    decode_request,
+    encode,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["ServeConfig", "ServeServer"]
+
+log = logging.getLogger("repro.serve")
+
+
+@dataclass
+class ServeConfig:
+    """Daemon knobs (all surfaced as ``repro serve`` flags).
+
+    ``pace`` throttles execution toward wall-clock time: with
+    ``pace=N``, each job occupies its worker for at least
+    ``sim_time / N`` wall seconds (N simulated seconds per wall
+    second); 0 runs the simulator flat out.  ``workers=0`` is an
+    admission-only daemon — jobs queue but never dispatch — which is
+    how the queue/cancel/reject paths are tested deterministically.
+    """
+
+    address: str = DEFAULT_ADDRESS
+    workers: int = 2
+    max_pending: int = 16
+    pace: float = 0.0
+    history_path: Optional[str] = None
+    telemetry_interval: float = 1.0
+    drain_timeout: Optional[float] = None
+
+    def __post_init__(self):
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.pace < 0:
+            raise ValueError("pace must be >= 0")
+
+
+class ServeServer:
+    """One daemon instance.  ``start()`` binds and spins up threads;
+    ``serve_forever()`` additionally installs signal handlers and
+    blocks; ``shutdown()`` drains and stops (idempotent, thread-safe).
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        self.address: Optional[str] = None
+        self._listener = None
+        self._queue = PendingQueue(self.config.max_pending)
+        self._jobs: Dict[str, Job] = {}
+        self._history: List[str] = []
+        self._running_ids: set = set()
+        self._counters = {key: 0 for key in (
+            "submitted", "rejected", "dispatched",
+            "completed", "failed", "canceled")}
+        self._next_job = 0
+        self._telemetry_seq = 0
+        self._telemetry_ring: List[Dict[str, Any]] = []
+        self._connections: set = set()
+        self._lock = threading.RLock()
+        self._shutting_down = False
+        self._workers_stop = threading.Event()
+        self._stopped = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._started_monotonic = 0.0
+        self._started_unix = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def start(self) -> str:
+        """Bind the listener and start all threads; returns the
+        resolved address (TCP port 0 becomes the real ephemeral port)."""
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        self._listener, self.address = create_listener(self.config.address)
+        self._listener.settimeout(0.2)
+        self._started_monotonic = time.monotonic()
+        self._started_unix = time.time()
+        accept = threading.Thread(target=self._accept_loop,
+                                  name="serve-accept", daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        for index in range(self.config.workers):
+            worker = threading.Thread(target=self._worker_loop,
+                                      name=f"serve-worker-{index}",
+                                      daemon=True)
+            worker.start()
+            self._threads.append(worker)
+        if self.config.telemetry_interval > 0:
+            ticker = threading.Thread(target=self._telemetry_loop,
+                                      name="serve-telemetry", daemon=True)
+            ticker.start()
+            self._threads.append(ticker)
+        log.info("serving on %s (%d workers, max_pending=%d)",
+                 self.address, self.config.workers, self.config.max_pending)
+        return self.address
+
+    def serve_forever(self) -> int:
+        """CLI entry: start (if needed), trap SIGINT/SIGTERM into a
+        graceful drain, and block until shutdown completes.  Returns 0
+        on a clean drain."""
+        if self._listener is None:
+            self.start()
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                signal.signal(signum, self._on_signal)
+        except ValueError:  # not the main thread (tests) — skip handlers
+            pass
+        self._stopped.wait()
+        return 0
+
+    def _on_signal(self, signum, frame) -> None:
+        log.info("signal %s: draining and shutting down", signum)
+        threading.Thread(target=self.shutdown, name="serve-shutdown",
+                         daemon=True).start()
+
+    def shutdown(self, mode: str = "drain") -> None:
+        """Stop admission, cancel queued jobs, drain (or abort) running
+        jobs, persist history, release the socket.  Safe to call from
+        any thread, any number of times."""
+        with self._lock:
+            if self._shutting_down:
+                self._stopped.wait()
+                return
+            self._shutting_down = True
+        clock = self._clock()
+        for job in self._queue.drain():
+            if job.try_transition(CANCELED, clock=clock,
+                                  error="daemon shutdown"):
+                self._finalize(job)
+        if mode == "now":
+            with self._lock:
+                for job_id in list(self._running_ids):
+                    self._jobs[job_id].cancel_requested = True
+        self._workers_stop.set()
+        deadline = None if self.config.drain_timeout is None \
+            else time.monotonic() + self.config.drain_timeout
+        for thread in self._threads:
+            if not thread.name.startswith("serve-worker"):
+                continue
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+            if thread.is_alive():
+                # Drain timed out: abort whatever is still running and
+                # collect the worker.
+                log.warning("drain timeout: aborting running jobs")
+                with self._lock:
+                    for job_id in list(self._running_ids):
+                        self._jobs[job_id].cancel_requested = True
+                thread.join()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._write_history()
+        log.info("shutdown complete: %s", self._counters)
+        self._stopped.set()
+
+    def _clock(self) -> float:
+        return time.monotonic() - self._started_monotonic
+
+    # ------------------------------------------------------------------
+    # Accept loop and connection handling
+
+    def _accept_loop(self) -> None:
+        while not self._shutting_down:
+            try:
+                conn, _ = self._listener.accept()
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed under us: shutting down
+            conn.settimeout(None)
+            with self._lock:
+                self._connections.add(conn)
+            threading.Thread(target=self._handle_connection, args=(conn,),
+                             name="serve-conn", daemon=True).start()
+
+    def _handle_connection(self, conn) -> None:
+        reader = LineReader(conn)
+        try:
+            while True:
+                try:
+                    line = reader.readline()
+                except ProtocolError as exc:  # oversized input
+                    self._send(conn, error_response(exc.code, exc.message))
+                    break
+                if line is None:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_request(line)
+                    self._dispatch(request, conn)
+                except ProtocolError as exc:
+                    self._send(conn, error_response(exc.code, exc.message))
+                except Exception as exc:  # noqa: BLE001 — daemon must survive
+                    log.exception("handler error")
+                    self._send(conn, error_response(
+                        "internal_error", f"{type(exc).__name__}: {exc}"))
+        except (ConnectionError, BrokenPipeError, OSError):
+            log.debug("client disconnected mid-request")
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _send(self, conn, payload: Dict[str, Any]) -> None:
+        conn.sendall(encode(payload))
+
+    def _dispatch(self, request: Dict[str, Any], conn) -> None:
+        verb = request["verb"]
+        if verb == "telemetry":
+            self._handle_telemetry(request, conn)
+            return
+        handler = getattr(self, f"_verb_{verb}")
+        payload = handler(request)
+        self._send(conn, ok_response(verb, **payload))
+        if verb == "shutdown":
+            threading.Thread(target=self.shutdown,
+                             args=(payload["mode"],),
+                             name="serve-shutdown", daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # Verbs
+
+    def _verb_ping(self, request) -> Dict[str, Any]:
+        return {"address": self.address, "uptime_s": round(self._clock(), 3)}
+
+    def _verb_scenarios(self, request) -> Dict[str, Any]:
+        return {"scenarios": scenario_catalog()}
+
+    def _verb_submit(self, request) -> Dict[str, Any]:
+        scenario, spec = _build_scenario(request)
+        priority = request.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise ProtocolError("bad_request", "priority must be an integer")
+        with self._lock:
+            if self._shutting_down:
+                raise ProtocolError("shutting_down",
+                                    "daemon is shutting down; not accepting "
+                                    "new jobs")
+            self._next_job += 1
+            job_id = f"job-{self._next_job:04d}"
+            job = Job(job_id, scenario, spec, priority=priority,
+                      clock=self._clock())
+            self._jobs[job_id] = job
+            try:
+                self._queue.push(job)
+            except QueueFull as exc:
+                del self._jobs[job_id]
+                self._next_job -= 1
+                self._counters["rejected"] += 1
+                raise ProtocolError("queue_full", str(exc)) from exc
+            self._counters["submitted"] += 1
+        return {"job": job_id, "state": QUEUED, "queue_depth": len(self._queue)}
+
+    def _verb_status(self, request) -> Dict[str, Any]:
+        job_id = request.get("job")
+        if job_id is None:
+            with self._lock:
+                active = [job.describe() for job in self._jobs.values()
+                          if not job.terminal]
+            active.sort(key=lambda record: record["id"])
+            return {"daemon": self._snapshot(), "jobs": active}
+        return {"job": self._get_job(job_id).describe()}
+
+    def _verb_result(self, request) -> Dict[str, Any]:
+        job = self._get_job(request.get("job"))
+        if job.state == COMPLETED:
+            return {"job": job.job_id, "state": job.state,
+                    "result_json": job.result_json}
+        if job.terminal:
+            return {"job": job.job_id, "state": job.state,
+                    "error": job.error, "result_json": None}
+        raise ProtocolError(
+            "not_ready", f"job {job.job_id} is {job.state}; no result yet")
+
+    def _verb_cancel(self, request) -> Dict[str, Any]:
+        job = self._get_job(request.get("job"))
+        clock = self._clock()
+        if job.state == QUEUED:
+            removed = self._queue.remove(job.job_id)
+            if removed is not None and removed.try_transition(
+                    CANCELED, clock=clock, error="canceled by client"):
+                self._finalize(removed)
+                return {"job": job.job_id, "state": CANCELED,
+                        "canceled": True}
+        if job.terminal:
+            return {"job": job.job_id, "state": job.state, "canceled": False}
+        # Dispatched or running (or queued-but-popped): cooperative
+        # cancel — the worker and the engine abort hook pick it up.
+        job.cancel_requested = True
+        return {"job": job.job_id, "state": job.state, "canceled": False,
+                "cancel_requested": True}
+
+    def _verb_history(self, request) -> Dict[str, Any]:
+        limit = request.get("limit", 50)
+        if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+            raise ProtocolError("bad_request",
+                                "limit must be a positive integer")
+        with self._lock:
+            job_ids = self._history[-limit:]
+            records = [self._jobs[job_id].describe() for job_id in job_ids]
+        return {"jobs": records, "total": len(self._history)}
+
+    def _verb_shutdown(self, request) -> Dict[str, Any]:
+        mode = request.get("mode", "drain")
+        if mode not in ("drain", "now"):
+            raise ProtocolError("bad_request",
+                                "shutdown mode must be 'drain' or 'now'")
+        return {"mode": mode, "stopping": True}
+
+    def _handle_telemetry(self, request, conn) -> None:
+        follow = request.get("follow", 1)
+        if not isinstance(follow, int) or isinstance(follow, bool) \
+                or not 1 <= follow <= 10000:
+            raise ProtocolError("bad_request",
+                                "follow must be an integer in [1, 10000]")
+        interval = request.get("interval", self.config.telemetry_interval
+                               or 1.0)
+        try:
+            interval = max(0.01, float(interval))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("bad_request",
+                                "interval must be a number") from exc
+        include_ring = bool(request.get("ring", False))
+        for index in range(follow):
+            payload = {"snapshot": self._snapshot()}
+            if include_ring:
+                with self._lock:
+                    payload["ring"] = list(self._telemetry_ring)
+            self._send(conn, ok_response("telemetry", **payload))
+            if index + 1 < follow:
+                if self._stopped.wait(interval):
+                    return
+
+    def _get_job(self, job_id) -> Job:
+        if not isinstance(job_id, str):
+            raise ProtocolError("bad_request", "request needs a 'job' id")
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ProtocolError("unknown_job", f"no such job {job_id!r}")
+        return job
+
+    # ------------------------------------------------------------------
+    # Telemetry
+
+    def _snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            states = {state: 0 for state in JOB_STATES}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            self._telemetry_seq += 1
+            return {
+                "seq": self._telemetry_seq,
+                "uptime_s": round(self._clock(), 3),
+                "address": self.address,
+                "admission": "closed" if self._shutting_down else "open",
+                "queue_depth": len(self._queue),
+                "max_pending": self._queue.max_pending,
+                "workers": self.config.workers,
+                "running": sorted(self._running_ids),
+                "jobs": states,
+                "counters": dict(self._counters),
+            }
+
+    def _telemetry_loop(self) -> None:
+        while not self._stopped.wait(self.config.telemetry_interval):
+            snapshot = self._snapshot()
+            with self._lock:
+                self._telemetry_ring.append(snapshot)
+                del self._telemetry_ring[:-64]
+
+    # ------------------------------------------------------------------
+    # Workers
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.pop(timeout=0.2)
+            if job is None:
+                if self._workers_stop.is_set():
+                    return
+                continue
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        clock = self._clock()
+        if job.cancel_requested \
+                or not job.try_transition(DISPATCHED, clock=clock):
+            job.try_transition(CANCELED, clock=clock,
+                               error="canceled before dispatch")
+            self._finalize(job)
+            return
+        with self._lock:
+            self._counters["dispatched"] += 1
+            self._running_ids.add(job.job_id)
+        job.try_transition(RUNNING, clock=self._clock())
+        started = time.monotonic()
+        previous = set_abort_check(lambda: job.cancel_requested)
+        try:
+            outcome = run_scenario(job.scenario)
+        except RunAborted:
+            job.try_transition(CANCELED, clock=self._clock(),
+                               error="canceled while running")
+        except Exception as exc:  # noqa: BLE001 — job isolation contract
+            job.try_transition(FAILED, clock=self._clock(),
+                               error=f"{type(exc).__name__}: {exc}")
+        else:
+            job.result_json = outcome.to_json()
+            job.events_processed = outcome.events_processed
+            job.sim_time = outcome.sim_time
+            if self._pace(outcome.sim_time, started, job):
+                job.try_transition(COMPLETED, clock=self._clock())
+            else:  # canceled mid-pacing: the result is discarded
+                job.result_json = None
+                job.try_transition(CANCELED, clock=self._clock(),
+                                   error="canceled while running (paced)")
+        finally:
+            set_abort_check(previous)
+            self._finalize(job)
+
+    def _pace(self, sim_time: float, started: float, job: Job) -> bool:
+        """Wall-clock pacing: hold the worker until ``sim_time /
+        config.pace`` wall seconds have elapsed.  Returns False if the
+        job was canceled while pacing."""
+        if self.config.pace <= 0:
+            return True
+        deadline = started + sim_time / self.config.pace
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return True
+            if job.cancel_requested:
+                return False
+            time.sleep(min(remaining, 0.05))
+
+    def _finalize(self, job: Job) -> None:
+        with self._lock:
+            self._running_ids.discard(job.job_id)
+            if job.terminal and job.job_id not in self._history:
+                self._history.append(job.job_id)
+                self._counters[job.state.lower()] += 1
+
+    # ------------------------------------------------------------------
+    # History persistence
+
+    def _write_history(self) -> None:
+        if not self.config.history_path:
+            return
+        with self._lock:
+            payload = {
+                "daemon": {
+                    "address": self.address,
+                    "started_unix": self._started_unix,
+                    "workers": self.config.workers,
+                    "max_pending": self.config.max_pending,
+                    "pace": self.config.pace,
+                },
+                "counters": dict(self._counters),
+                "jobs": [self._jobs[job_id].describe()
+                         for job_id in self._history],
+            }
+        with open(self.config.history_path, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, separators=(",", ":"),
+                      default=float)
+        log.info("wrote job history to %s (%d jobs)",
+                 self.config.history_path, len(payload["jobs"]))
+
+
+# ---------------------------------------------------------------------------
+# Submission -> Scenario
+
+def _build_scenario(request: Dict[str, Any]):
+    """Build the Scenario a submit request names, or raise a structured
+    ``bad_scenario``/``bad_request`` error.
+
+    Two submission shapes: ``{"name": <registry name>, "seed",
+    "duration", "overrides"}`` goes through ``make_scenario`` (the same
+    catalog the CLI/sweep/bench use), and ``{"scenario": {"kind",
+    "params"}}`` builds an inline params-family Scenario.  Inline
+    ``kind="experiment"`` is rejected — ExperimentConfig is not
+    JSON-expressible; submit a registry name with overrides instead.
+    """
+    seed = request.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ProtocolError("bad_request", "seed must be an integer")
+    duration = request.get("duration")
+    if duration is not None:
+        try:
+            duration = float(duration)
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError("bad_request",
+                                "duration must be a number") from exc
+    name = request.get("name")
+    inline = request.get("scenario")
+    if name is not None:
+        if not isinstance(name, str):
+            raise ProtocolError("bad_request", "name must be a string")
+        overrides = request.get("overrides") or {}
+        if not isinstance(overrides, dict) \
+                or not all(isinstance(k, str) for k in overrides):
+            raise ProtocolError("bad_request",
+                                "overrides must be an object with string "
+                                "keys")
+        try:
+            scenario = make_scenario(name, seed=seed, duration=duration,
+                                     **overrides)
+        except Exception as exc:  # bad name or bad override values
+            raise ProtocolError("bad_scenario", str(exc)) from exc
+        spec = {"name": name, "seed": seed, "duration": duration,
+                "overrides": overrides}
+        return scenario, spec
+    if inline is not None:
+        if not isinstance(inline, dict):
+            raise ProtocolError("bad_request",
+                                "scenario must be an object with a 'kind'")
+        kind = inline.get("kind")
+        if kind == "experiment":
+            raise ProtocolError(
+                "bad_scenario",
+                "inline experiment configs are not supported; submit a "
+                "registry scenario name (see the 'scenarios' verb)")
+        params = dict(inline.get("params") or {})
+        params["seed"] = seed
+        if duration is not None:
+            params["duration"] = duration
+        try:
+            scenario = Scenario(kind=kind, name=inline.get("name") or "",
+                                params=params)
+        except Exception as exc:
+            raise ProtocolError("bad_scenario", str(exc)) from exc
+        spec = {"kind": kind, "params": params}
+        return scenario, spec
+    raise ProtocolError("bad_request",
+                        "submit needs a registry 'name' or an inline "
+                        "'scenario' object")

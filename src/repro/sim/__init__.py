@@ -1,6 +1,13 @@
 """Discrete-event simulation substrate (engine, processes, seeded RNG)."""
 
-from .engine import ScheduledEvent, SimulationError, Simulator
+from .engine import (
+    RunAborted,
+    ScheduledEvent,
+    SimulationError,
+    Simulator,
+    get_abort_check,
+    set_abort_check,
+)
 from .process import AllOf, AnyOf, Interrupted, Process, Signal, Timeout, spawn
 from .rng import RngFactory, substream_seed
 
@@ -8,6 +15,9 @@ __all__ = [
     "Simulator",
     "ScheduledEvent",
     "SimulationError",
+    "RunAborted",
+    "set_abort_check",
+    "get_abort_check",
     "Process",
     "Signal",
     "Timeout",

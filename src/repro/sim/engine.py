@@ -15,13 +15,46 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import threading
 from typing import Callable, Optional
 
-__all__ = ["Simulator", "ScheduledEvent", "SimulationError"]
+__all__ = ["Simulator", "ScheduledEvent", "SimulationError", "RunAborted",
+           "set_abort_check", "get_abort_check"]
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid use of the simulation engine."""
+
+
+class RunAborted(SimulationError):
+    """Raised from :meth:`Simulator.run` when the thread's abort check
+    fires (see :func:`set_abort_check`).  Carries no partial results:
+    the run that raised it is abandoned wholesale."""
+
+
+# Cooperative cancellation for externally-driven runs (the serve
+# daemon's job cancel).  The hook is thread-local because scenario
+# families construct their own Simulator deep inside run(scenario):
+# a worker thread sets the check before calling run(), and every
+# Simulator built on that thread polls it every 1024 events.  Threads
+# that never set a check (every pre-existing caller) pay one hoisted
+# local None-test per event.
+_thread_hooks = threading.local()
+
+
+def set_abort_check(check: Optional[Callable[[], bool]]) -> Optional[Callable]:
+    """Install ``check`` as this thread's abort hook; returns the
+    previous hook.  Simulators created on this thread afterwards poll
+    it periodically during :meth:`Simulator.run` and raise
+    :class:`RunAborted` when it returns true.  Pass None to clear."""
+    previous = getattr(_thread_hooks, "abort_check", None)
+    _thread_hooks.abort_check = check
+    return previous
+
+
+def get_abort_check() -> Optional[Callable[[], bool]]:
+    """This thread's installed abort hook (None if unset)."""
+    return getattr(_thread_hooks, "abort_check", None)
 
 
 # Calendar entries are plain (time, seq, event) tuples: heap sift
@@ -76,6 +109,7 @@ class Simulator:
         # calendar event is recorded, so this is opt-in via
         # TelemetryConfig.engine_events, not regular tracing.
         self._tracer = None
+        self._abort_check = get_abort_check()
 
     def attach_tracer(self, tracer) -> None:
         """Record every processed calendar event in ``tracer`` (verbose;
@@ -162,6 +196,10 @@ class Simulator:
         heap = self._heap
         pop = heapq.heappop
         tracer = self._tracer
+        abort = self._abort_check
+        if abort is not None and abort():
+            self._running = False
+            raise RunAborted("run aborted before the first event")
         try:
             while not self._stopped:
                 if max_events is not None and processed >= max_events:
@@ -187,6 +225,10 @@ class Simulator:
                         getattr(event.callback, "__qualname__", "callback"))
                 event.callback()
                 processed += 1
+                if abort is not None and (processed & 1023) == 0 and abort():
+                    raise RunAborted(
+                        f"run aborted after {processed} events "
+                        f"at t={self._now:.6f}")
         finally:
             self._running = False
         if until is not None and self._now < until:

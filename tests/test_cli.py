@@ -13,7 +13,8 @@ def test_parser_requires_command():
 
 
 ALL_SUBCOMMANDS = ("inf-train", "train-train", "inf-inf", "faults",
-                   "fleet", "overload", "trace", "sweep", "bench", "profile")
+                   "fleet", "overload", "trace", "sweep", "bench", "profile",
+                   "scenarios", "serve", "submit", "status", "cancel")
 
 
 def test_help_lists_every_subcommand(capsys):
@@ -143,6 +144,81 @@ def test_fleet_cli_rebalance_help_lists_flags(capsys):
                  "--migration-cooldown", "--max-inflight-migrations",
                  "--min-gain", "--migration-report-out"):
         assert flag in out, f"{flag} missing from fleet --help"
+
+
+def test_scenarios_cli_lists_catalog(capsys):
+    rc = main(["scenarios"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for name in ("fleet_ref", "overload_ref", "inf_train_ref",
+                 "fleet_rebalance"):
+        assert name in out, f"{name} missing from the catalog table"
+    assert "experiment" in out and "fleet" in out
+
+
+def test_scenarios_cli_json_matches_registry(capsys):
+    from repro.experiments.registry import scenario_catalog, scenario_names
+
+    rc = main(["scenarios", "--json"])
+    assert rc == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert tuple(sorted(payload)) == scenario_names()
+    assert payload == scenario_catalog()
+    assert payload["fleet_ref"]["kind"] == "fleet"
+    assert payload["fleet_ref"]["params"]["num_gpus"] == 8
+    assert payload["inf_train_ref"]["kind"] == "experiment"
+    assert payload["inf_train_ref"]["params"]["backend"] == "orion"
+
+
+def test_submit_status_cancel_cli_roundtrip(capsys):
+    from repro.serve import ServeConfig, ServeServer
+
+    server = ServeServer(ServeConfig(address="tcp:127.0.0.1:0", workers=1,
+                                     telemetry_interval=0))
+    address = server.start()
+    try:
+        rc = main(["submit", "faults", "--address", address,
+                   "--duration", "0.05", "--seed", "2", "--wait", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        payload = json.loads(out)
+        assert payload["state"] == "COMPLETED"
+        assert payload["result"]["seed"] == 2
+        job = payload["id"]
+
+        rc = main(["status", job, "--address", address])
+        assert rc == 0
+        assert "COMPLETED" in capsys.readouterr().out
+
+        rc = main(["status", "--address", address])
+        assert rc == 0
+        assert "daemon:" in capsys.readouterr().out
+
+        rc = main(["cancel", job, "--address", address])
+        assert rc == 0
+        assert "already COMPLETED" in capsys.readouterr().out
+
+        rc = main(["status", "job-9999", "--address", address])
+        assert rc == 1
+    finally:
+        server.shutdown()
+
+
+def test_submit_cli_reports_queue_full(capsys):
+    from repro.serve import ServeConfig, ServeServer
+
+    server = ServeServer(ServeConfig(address="tcp:127.0.0.1:0", workers=0,
+                                     max_pending=1, telemetry_interval=0))
+    address = server.start()
+    try:
+        assert main(["submit", "faults", "--address", address,
+                     "--duration", "0.05"]) == 0
+        rc = main(["submit", "faults", "--address", address,
+                   "--duration", "0.05"])
+        assert rc == 1
+        assert "queue_full" in capsys.readouterr().err
+    finally:
+        server.shutdown()
 
 
 def test_profile_cli(capsys, tmp_path):
