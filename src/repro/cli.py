@@ -294,6 +294,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drain-timeout", type=float, default=None,
                    help="max seconds to wait for running jobs on "
                         "shutdown before aborting them (default: wait)")
+    p.add_argument("--journal", default=None, metavar="PATH",
+                   help="write-ahead job journal; enables crash "
+                        "recovery and restart-safe idempotency keys")
+    p.add_argument("--recover", choices=("requeue", "fail"),
+                   default="requeue",
+                   help="policy for jobs caught DISPATCHED/RUNNING by "
+                        "a crash: re-run deterministically (requeue, "
+                        "default) or terminate INTERRUPTED (fail)")
+    p.add_argument("--fsync-batch", type=int, default=8,
+                   help="journal group-commit size: fsync every N "
+                        "records (durable records always sync; "
+                        "default 8)")
+    p.add_argument("--snapshot-every", type=int, default=256,
+                   help="compact the journal into a snapshot every N "
+                        "records (default 256)")
+    p.add_argument("--hang-timeout", type=float, default=30.0,
+                   help="seconds without a heartbeat before a running "
+                        "job is declared hung (0 disables the "
+                        "watchdog; default 30)")
+    p.add_argument("--abort-grace", type=float, default=5.0,
+                   help="seconds after a cooperative hang-abort before "
+                        "the watchdog force-requeues (default 5)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="re-run budget for hung/crashed jobs before "
+                        "FAILED (default 2)")
+    p.add_argument("--retry-backoff", type=float, default=0.25,
+                   help="base of the exponential requeue backoff in "
+                        "seconds (default 0.25)")
 
     def add_address(p):
         p.add_argument("--address", default=None,
@@ -313,6 +341,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--set", action="append", default=[], metavar="KEY=VAL",
                    help="scenario override (repeatable); values parse "
                         "as JSON, falling back to strings")
+    p.add_argument("--key", default=None, metavar="KEY",
+                   help="idempotency key: re-submitting the same key "
+                        "returns the original job id (survives daemon "
+                        "restarts when the daemon runs with --journal)")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry budget for queue_full rejections "
+                        "(honoring the daemon's retry_after_hint) and, "
+                        "with --key, dropped connections (default 0)")
     p.add_argument("--wait", action="store_true",
                    help="poll status until the job finishes and print "
                         "the result")
@@ -688,7 +724,15 @@ def _run_serve(args) -> int:
                          max_pending=args.max_pending, pace=args.pace,
                          history_path=args.history_out,
                          telemetry_interval=args.telemetry_interval,
-                         drain_timeout=args.drain_timeout)
+                         drain_timeout=args.drain_timeout,
+                         journal_path=args.journal,
+                         recover=args.recover,
+                         fsync_batch=args.fsync_batch,
+                         snapshot_every=args.snapshot_every,
+                         hang_timeout=args.hang_timeout,
+                         abort_grace=args.abort_grace,
+                         max_retries=args.max_retries,
+                         retry_backoff=args.retry_backoff)
     server = ServeServer(config)
     print(f"listening on {server.start()}", flush=True)
     return server.serve_forever()
@@ -713,7 +757,9 @@ def _run_submit(args) -> int:
             job = client.submit(name=args.scenario, seed=args.seed,
                                 duration=args.duration,
                                 overrides=overrides or None,
-                                priority=args.priority)
+                                priority=args.priority,
+                                idempotency_key=args.key,
+                                retries=args.retries)
         except ServeError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 1

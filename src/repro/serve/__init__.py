@@ -8,8 +8,15 @@ TCP socket, schedules submitted scenarios through the one
 pool, and answers ``status``/``result``/``cancel``/``history``/
 ``telemetry``/``shutdown`` verbs.  See DESIGN.md §6.7.
 
+PR 9 makes the daemon durable (DESIGN.md §6.8): a write-ahead job
+journal with crash recovery (``--journal`` / ``--recover``), submit
+idempotency keys that survive restarts, and a worker watchdog that
+detects hung jobs and requeues them with bounded retries.
+
 * :mod:`repro.serve.protocol` — NDJSON framing, verbs, addresses.
 * :mod:`repro.serve.jobs` — Job lifecycle + the bounded pending queue.
+* :mod:`repro.serve.journal` — write-ahead log, snapshots, replay.
+* :mod:`repro.serve.watchdog` — heartbeat hang detection + retries.
 * :mod:`repro.serve.server` — the daemon (:class:`ServeServer`).
 * :mod:`repro.serve.client` — :class:`ServeClient` library.
 """
@@ -20,6 +27,7 @@ from .jobs import (
     COMPLETED,
     DISPATCHED,
     FAILED,
+    INTERRUPTED,
     JOB_STATES,
     QUEUED,
     RUNNING,
@@ -29,8 +37,10 @@ from .jobs import (
     PendingQueue,
     QueueFull,
 )
+from .journal import KILL_POINTS, JobJournal, JournalError, atomic_write_json
 from .protocol import DEFAULT_ADDRESS, MAX_LINE_BYTES, VERBS, ProtocolError
 from .server import ServeConfig, ServeServer
+from .watchdog import WatchdogConfig, WorkerWatchdog
 
 __all__ = [
     "ServeServer",
@@ -41,6 +51,12 @@ __all__ = [
     "PendingQueue",
     "QueueFull",
     "LifecycleError",
+    "JobJournal",
+    "JournalError",
+    "atomic_write_json",
+    "KILL_POINTS",
+    "WatchdogConfig",
+    "WorkerWatchdog",
     "JOB_STATES",
     "TERMINAL_STATES",
     "QUEUED",
@@ -49,6 +65,7 @@ __all__ = [
     "COMPLETED",
     "FAILED",
     "CANCELED",
+    "INTERRUPTED",
     "VERBS",
     "DEFAULT_ADDRESS",
     "MAX_LINE_BYTES",

@@ -11,8 +11,18 @@ submit/status/cancel`` CLI verbs all drive the daemon the same way::
                                               # direct run(scenario)
 
 Server-side errors surface as :class:`ServeError` carrying the
-structured ``code`` (``queue_full``, ``unknown_job``, ...) so callers
-can branch on overload/reject outcomes instead of parsing messages.
+structured ``code`` (``queue_full``, ``unknown_job``, ...) and any
+extra ``details`` the daemon attached (``queue_full`` carries
+``queue_depth`` and ``retry_after_hint``) so callers can branch on
+overload/reject outcomes instead of parsing messages.
+
+Resilience: every request accepts a ``deadline`` (wall seconds for
+this one round-trip); :meth:`ServeClient.submit` accepts an
+``idempotency_key`` plus a ``retries`` budget, and on ``queue_full``
+backs off by the daemon's ``retry_after_hint`` while on a dropped
+connection it reconnects and safely re-submits — the key makes the
+re-submit return the original job id instead of enqueueing a
+duplicate, even across a daemon restart.
 """
 
 from __future__ import annotations
@@ -31,12 +41,19 @@ __all__ = ["ServeClient", "ServeError"]
 
 
 class ServeError(RuntimeError):
-    """A structured error response from the daemon."""
+    """A structured error response from the daemon.
 
-    def __init__(self, code: str, message: str):
+    ``details`` carries whatever extra fields the daemon put in the
+    error object beyond ``code``/``message`` — e.g. ``queue_depth`` and
+    ``retry_after_hint`` on ``queue_full``.
+    """
+
+    def __init__(self, code: str, message: str,
+                 details: Optional[Dict[str, Any]] = None):
         super().__init__(f"{code}: {message}")
         self.code = code
         self.message = message
+        self.details = details or {}
 
 
 class ServeClient:
@@ -45,16 +62,33 @@ class ServeClient:
     def __init__(self, address: str = DEFAULT_ADDRESS,
                  timeout: float = 60.0):
         self.address = address
+        self.timeout = timeout
         self._sock = connect(address, timeout=timeout)
         self._reader = LineReader(self._sock)
 
     # ------------------------------------------------------------------
     # Plumbing
 
-    def request(self, verb: str, **fields: Any) -> Dict[str, Any]:
-        """Send one request and return the (single) response payload."""
-        self._send(verb, **fields)
-        return self._receive()
+    def request(self, verb: str, deadline: Optional[float] = None,
+                **fields: Any) -> Dict[str, Any]:
+        """Send one request and return the (single) response payload.
+
+        ``deadline`` bounds this round-trip in wall seconds (socket
+        timeout swapped for its duration; ``socket.timeout`` — an
+        ``OSError`` — surfaces if the daemon does not answer in time).
+        """
+        if deadline is None:
+            self._send(verb, **fields)
+            return self._receive()
+        self._sock.settimeout(deadline)
+        try:
+            self._send(verb, **fields)
+            return self._receive()
+        finally:
+            try:
+                self._sock.settimeout(self.timeout)
+            except OSError:
+                pass  # socket already dead; the caller sees the error
 
     def _send(self, verb: str, **fields: Any) -> None:
         payload = {"verb": verb}
@@ -70,9 +104,18 @@ class ServeClient:
         response = json.loads(line)
         if not response.get("ok"):
             error = response.get("error") or {}
+            details = {k: v for k, v in error.items()
+                       if k not in ("code", "message")}
             raise ServeError(error.get("code", "unknown"),
-                             error.get("message", "daemon error"))
+                             error.get("message", "daemon error"),
+                             details=details)
         return response
+
+    def _reconnect(self) -> None:
+        """Drop the (presumed dead) socket and dial the daemon again."""
+        self.close()
+        self._sock = connect(self.address, timeout=self.timeout)
+        self._reader = LineReader(self._sock)
 
     def close(self) -> None:
         try:
@@ -117,15 +160,50 @@ class ServeClient:
                scenario: Optional[Dict[str, Any]] = None,
                seed: int = 0, duration: Optional[float] = None,
                overrides: Optional[Dict[str, Any]] = None,
-               priority: int = 0) -> str:
+               priority: int = 0,
+               idempotency_key: Optional[str] = None,
+               retries: int = 0,
+               max_retry_wait: float = 5.0,
+               deadline: Optional[float] = None) -> str:
         """Submit a registry scenario (``name`` + ``overrides``) or an
         inline params scenario (``scenario={"kind", "params"}``);
-        returns the job id.  Raises :class:`ServeError` with code
-        ``queue_full`` when the bounded pending queue rejects it."""
-        response = self.request("submit", name=name, scenario=scenario,
-                                seed=seed, duration=duration,
-                                overrides=overrides, priority=priority)
-        return response["job"]
+        returns the job id.
+
+        With ``retries=0`` a full queue raises :class:`ServeError`
+        (code ``queue_full``, with ``queue_depth`` and
+        ``retry_after_hint`` in ``.details``).  With ``retries > 0``
+        the client sleeps for the daemon's hint (capped at
+        ``max_retry_wait``) and tries again.  A dropped connection is
+        retried too — but only when ``idempotency_key`` is set, because
+        only the key makes the re-submit safe: the daemon answers a
+        duplicate key with the original job id (``deduplicated`` in the
+        response), including across a daemon restart, so a submit whose
+        ack was lost in the crash cannot enqueue twice.
+        """
+        attempts_left = max(0, retries)
+        while True:
+            try:
+                response = self.request(
+                    "submit", deadline=deadline, name=name,
+                    scenario=scenario, seed=seed, duration=duration,
+                    overrides=overrides, priority=priority,
+                    key=idempotency_key)
+                return response["job"]
+            except ServeError as exc:
+                if exc.code != "queue_full" or attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                hint = exc.details.get("retry_after_hint", 0.1)
+                time.sleep(min(float(hint), max_retry_wait))
+            except (ConnectionError, OSError):
+                if idempotency_key is None or attempts_left <= 0:
+                    raise
+                attempts_left -= 1
+                time.sleep(min(0.2, max_retry_wait))
+                try:
+                    self._reconnect()
+                except (ConnectionError, OSError):
+                    continue  # daemon still restarting; burn a retry
 
     def status(self, job: Optional[str] = None) -> Dict[str, Any]:
         """One job's lifecycle record, or (with no ``job``) the daemon
@@ -181,7 +259,8 @@ class ServeClient:
         deadline = time.monotonic() + timeout
         while True:
             record = self.status(job)
-            if record["state"] in ("COMPLETED", "FAILED", "CANCELED"):
+            if record["state"] in ("COMPLETED", "FAILED", "CANCELED",
+                                   "INTERRUPTED"):
                 return record
             if time.monotonic() >= deadline:
                 raise TimeoutError(

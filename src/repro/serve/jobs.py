@@ -2,25 +2,33 @@
 
 A submitted scenario becomes a :class:`Job` that moves through
 
-    QUEUED -> DISPATCHED -> RUNNING -> {COMPLETED, FAILED, CANCELED}
+    QUEUED -> DISPATCHED -> RUNNING -> {COMPLETED, FAILED, CANCELED,
+                                        INTERRUPTED}
 
 where QUEUED and DISPATCHED jobs can also jump straight to CANCELED
-(cancel verb, or shutdown draining the queue).  Transitions are
-validated — an illegal move raises :class:`LifecycleError` rather than
-silently corrupting state, which is what keeps the daemon's accounting
-exact under concurrent cancels.
+(cancel verb, or shutdown draining the queue).  Two recovery edges
+exist on top of the happy path: DISPATCHED/RUNNING -> QUEUED is a
+*requeue* (crash recovery under ``--recover=requeue``, or the watchdog
+re-admitting a hung job), and DISPATCHED/RUNNING -> INTERRUPTED is the
+terminal verdict under ``--recover=fail`` when a crash caught the job
+mid-flight.  Transitions are validated — an illegal move raises
+:class:`LifecycleError` rather than silently corrupting state, which
+is what keeps the daemon's accounting exact under concurrent cancels,
+watchdog requeues, and journal replay.
 
 The :class:`PendingQueue` is the PR-2 overload idiom applied to jobs
 instead of kernels: a bounded priority queue that *rejects at
 admission* when full (``queue_full``) instead of buffering unbounded
 work.  Priority is a submit-time integer (higher first); ties dequeue
-FIFO by submission sequence.
+FIFO by submission sequence.  Cancels are lazy (the heap entry is
+skipped on pop), with the stale fraction compacted away once it
+crosses a threshold so cancel churn cannot grow the heap unboundedly.
 """
 
 from __future__ import annotations
 
 import threading
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from itertools import count
 from typing import Any, Dict, List, Optional
 
@@ -28,6 +36,7 @@ from repro.experiments.scenario import Scenario
 
 __all__ = [
     "QUEUED", "DISPATCHED", "RUNNING", "COMPLETED", "FAILED", "CANCELED",
+    "INTERRUPTED",
     "TERMINAL_STATES", "JOB_STATES",
     "LifecycleError", "QueueFull",
     "Job", "PendingQueue",
@@ -39,17 +48,20 @@ RUNNING = "RUNNING"
 COMPLETED = "COMPLETED"
 FAILED = "FAILED"
 CANCELED = "CANCELED"
+INTERRUPTED = "INTERRUPTED"
 
-JOB_STATES = (QUEUED, DISPATCHED, RUNNING, COMPLETED, FAILED, CANCELED)
-TERMINAL_STATES = frozenset((COMPLETED, FAILED, CANCELED))
+JOB_STATES = (QUEUED, DISPATCHED, RUNNING, COMPLETED, FAILED, CANCELED,
+              INTERRUPTED)
+TERMINAL_STATES = frozenset((COMPLETED, FAILED, CANCELED, INTERRUPTED))
 
 _ALLOWED = {
     QUEUED: frozenset((DISPATCHED, CANCELED)),
-    DISPATCHED: frozenset((RUNNING, CANCELED)),
-    RUNNING: frozenset((COMPLETED, FAILED, CANCELED)),
+    DISPATCHED: frozenset((RUNNING, CANCELED, QUEUED, INTERRUPTED)),
+    RUNNING: frozenset((COMPLETED, FAILED, CANCELED, QUEUED, INTERRUPTED)),
     COMPLETED: frozenset(),
     FAILED: frozenset(),
     CANCELED: frozenset(),
+    INTERRUPTED: frozenset(),
 }
 
 
@@ -74,23 +86,60 @@ class Job:
 
     __slots__ = ("job_id", "scenario", "spec", "priority", "state",
                  "error", "result_json", "events_processed", "sim_time",
-                 "cancel_requested", "transitions", "_lock")
+                 "cancel_requested", "transitions", "_lock",
+                 "key", "attempt", "abort_requested", "last_heartbeat",
+                 "hang_detected_at", "recovered")
 
-    def __init__(self, job_id: str, scenario: Scenario, spec: Dict[str, Any],
-                 priority: int = 0, *, clock: float = 0.0):
+    def __init__(self, job_id: str, scenario: Optional[Scenario],
+                 spec: Dict[str, Any],
+                 priority: int = 0, *, clock: float = 0.0,
+                 key: Optional[str] = None):
         self.job_id = job_id
         self.scenario = scenario
         self.spec = spec
         self.priority = int(priority)
+        self.key = key
         self.state = QUEUED
         self.error: Optional[str] = None
         self.result_json: Optional[str] = None
         self.events_processed: Optional[int] = None
         self.sim_time: Optional[float] = None
         self.cancel_requested = False
+        #: Cooperative watchdog abort (hang, not a client cancel) — the
+        #: worker requeues instead of CANCELING when this fires.
+        self.abort_requested = False
+        #: 1-based execution attempt; bumped on every requeue so a
+        #: wedged worker's late outcome is recognizably stale.
+        self.attempt = 1
+        #: time.monotonic() of the last engine abort-hook poll (the
+        #: run's heartbeat); None while not running.
+        self.last_heartbeat: Optional[float] = None
+        self.hang_detected_at: Optional[float] = None
+        #: True when this Job was rebuilt from the journal at startup.
+        self.recovered = False
         # (state, wall-clock seconds) pairs, QUEUED first.
         self.transitions: List[List[Any]] = [[QUEUED, clock]]
         self._lock = threading.Lock()
+
+    @classmethod
+    def restore(cls, record: Dict[str, Any],
+                scenario: Optional[Scenario]) -> "Job":
+        """Rebuild a Job from a journal-replay record (see
+        :mod:`repro.serve.journal`) — state, transitions, error, and
+        the byte-exact ``result_json`` are restored verbatim."""
+        job = cls(record["id"], scenario, record["spec"],
+                  priority=record.get("priority", 0),
+                  key=record.get("key"))
+        job.state = record["state"]
+        job.error = record.get("error")
+        job.result_json = record.get("result_json")
+        job.events_processed = record.get("events_processed")
+        job.sim_time = record.get("sim_time")
+        job.attempt = record.get("attempt", 1)
+        job.transitions = [list(t) for t in record.get("transitions", [])] \
+            or [[QUEUED, 0.0]]
+        job.recovered = True
+        return job
 
     @property
     def terminal(self) -> bool:
@@ -130,7 +179,13 @@ class Job:
                 "state": self.state,
                 "priority": self.priority,
                 "spec": self.spec,
-                "seed": self.scenario.seed,
+                "seed": (self.scenario.seed if self.scenario is not None
+                         else self.spec.get("seed",
+                                            (self.spec.get("params") or {})
+                                            .get("seed", 0))),
+                "key": self.key,
+                "attempt": self.attempt,
+                "recovered": self.recovered,
                 "cancel_requested": self.cancel_requested,
                 "error": self.error,
                 "events_processed": self.events_processed,
@@ -149,6 +204,12 @@ class PendingQueue:
     ``timeout`` so worker threads can poll their stop flag.
     """
 
+    #: Compact the heap once at least this many lazily-canceled
+    #: entries are stale AND they are at least half the heap — keeps
+    #: heap size O(live) under cancel churn without paying a rebuild
+    #: on every cancel.
+    COMPACT_MIN_STALE = 8
+
     def __init__(self, max_pending: int):
         if max_pending < 0:
             raise ValueError("max_pending must be >= 0")
@@ -162,9 +223,20 @@ class PendingQueue:
         with self._cond:
             return len(self._heap) - len(self._removed)
 
-    def push(self, job: Job) -> None:
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length including stale lazily-canceled entries
+        (bounded-churn invariant tested in tests/test_serve.py)."""
         with self._cond:
-            if len(self._heap) - len(self._removed) >= self.max_pending:
+            return len(self._heap)
+
+    def push(self, job: Job, force: bool = False) -> None:
+        """Admit a job; raises :class:`QueueFull` past ``max_pending``
+        unless ``force`` — requeues and crash recovery must never drop
+        an already-accepted job, so they bypass the admission bound."""
+        with self._cond:
+            if not force and \
+                    len(self._heap) - len(self._removed) >= self.max_pending:
                 raise QueueFull(
                     f"pending queue is full ({self.max_pending} jobs)")
             heappush(self._heap, (-job.priority, next(self._seq), job))
@@ -184,8 +256,18 @@ class PendingQueue:
             for _, _, job in self._heap:
                 if job.job_id == job_id and job.job_id not in self._removed:
                     self._removed.add(job.job_id)
+                    self._compact_locked()
                     return job
             return None
+
+    def _compact_locked(self) -> None:
+        if len(self._removed) < self.COMPACT_MIN_STALE \
+                or 2 * len(self._removed) < len(self._heap):
+            return
+        self._heap = [entry for entry in self._heap
+                      if entry[2].job_id not in self._removed]
+        heapify(self._heap)
+        self._removed.clear()
 
     def drain(self) -> List[Job]:
         """Empty the queue, returning the jobs in dequeue order

@@ -55,12 +55,19 @@ VERBS = ("submit", "status", "result", "cancel", "history",
 
 
 class ProtocolError(Exception):
-    """A request the daemon rejects with a structured error response."""
+    """A request the daemon rejects with a structured error response.
 
-    def __init__(self, code: str, message: str):
+    ``details`` is an optional JSON-safe dict merged into the error
+    object — e.g. ``queue_full`` carries ``queue_depth`` and
+    ``retry_after_hint`` so clients can back off intelligently.
+    """
+
+    def __init__(self, code: str, message: str,
+                 details: Optional[Dict[str, Any]] = None):
         super().__init__(message)
         self.code = code
         self.message = message
+        self.details = details or {}
 
 
 def encode(payload: Dict[str, Any]) -> bytes:
@@ -94,8 +101,12 @@ def ok_response(verb: str, **payload: Any) -> Dict[str, Any]:
     return response
 
 
-def error_response(code: str, message: str) -> Dict[str, Any]:
-    return {"ok": False, "error": {"code": code, "message": message}}
+def error_response(code: str, message: str,
+                   details: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    error = {"code": code, "message": message}
+    if details:
+        error.update(details)
+    return {"ok": False, "error": error}
 
 
 def parse_address(address: str) -> Tuple[str, Any]:

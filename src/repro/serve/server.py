@@ -1,6 +1,6 @@
 """The always-on scheduler daemon behind ``python -m repro serve``.
 
-A :class:`ServeServer` owns four kinds of threads:
+A :class:`ServeServer` owns five kinds of threads:
 
 * an **accept loop** on a Unix/TCP listener, spawning one handler
   thread per client connection (NDJSON request/response, see
@@ -12,21 +12,35 @@ A :class:`ServeServer` owns four kinds of threads:
   machinery, never a second execution path, which is what makes the
   determinism contract (daemon result byte-identical to a direct run at
   the same seed) hold by construction;
+* a **watchdog** (:mod:`repro.serve.watchdog`) that detects hung
+  running jobs via the abort-hook heartbeat and requeues them with
+  bounded retries + exponential backoff;
 * a **telemetry ticker** recording periodic snapshots into a ring; and
 * transient **shutdown** threads (signal handlers and the ``shutdown``
   verb both funnel into the idempotent :meth:`ServeServer.shutdown`).
+
+Durability (:mod:`repro.serve.journal`, DESIGN.md §6.8): with
+``journal_path`` set, every submit is journaled *before* it is
+acknowledged and every transition/result before it is observable, so a
+crash — including ``kill -9`` — loses nothing.  On startup the daemon
+replays the journal: completed results come back byte-for-byte, queued
+jobs re-enter the pending queue in priority order, and jobs caught
+DISPATCHED/RUNNING are deterministically re-run (``recover="requeue"``)
+or terminated INTERRUPTED (``recover="fail"``).  Submit idempotency
+keys survive restarts: a duplicate submit returns the original job id.
 
 Cancellation: queued jobs are pulled straight out of the pending queue;
 dispatched/running jobs get ``cancel_requested`` set, which the worker
 checks before starting and the simulation engine polls every 1024
 events via the thread-local abort hook
 (:func:`repro.sim.engine.set_abort_check`) — the same early-exit shape
-as the client-deregistration drain, applied to the whole run.
+as the client-deregistration drain, applied to the whole run.  The
+same hook doubles as the watchdog heartbeat.
 
 Graceful shutdown (SIGINT/SIGTERM or the ``shutdown`` verb): admission
 closes, queued jobs are canceled, running jobs drain (or are aborted in
-``mode="now"``), the JSON job history is persisted, and the process
-exits 0.
+``mode="now"``), the journal is compacted and closed, the JSON job
+history is persisted atomically, and the process exits 0.
 """
 
 from __future__ import annotations
@@ -48,13 +62,14 @@ from .jobs import (
     COMPLETED,
     DISPATCHED,
     FAILED,
+    INTERRUPTED,
     JOB_STATES,
     QUEUED,
     RUNNING,
     Job,
     PendingQueue,
-    QueueFull,
 )
+from .journal import JobJournal, atomic_write_json, maybe_kill
 from .protocol import (
     DEFAULT_ADDRESS,
     LineReader,
@@ -65,10 +80,14 @@ from .protocol import (
     error_response,
     ok_response,
 )
+from .watchdog import WatchdogConfig, WorkerWatchdog
 
-__all__ = ["ServeConfig", "ServeServer"]
+__all__ = ["ServeConfig", "ServeServer", "scenario_from_spec"]
 
 log = logging.getLogger("repro.serve")
+
+#: Admission policies for jobs caught DISPATCHED/RUNNING by a crash.
+RECOVER_POLICIES = ("requeue", "fail")
 
 
 @dataclass
@@ -81,6 +100,12 @@ class ServeConfig:
     second); 0 runs the simulator flat out.  ``workers=0`` is an
     admission-only daemon — jobs queue but never dispatch — which is
     how the queue/cancel/reject paths are tested deterministically.
+
+    ``journal_path`` enables the write-ahead job journal (crash
+    recovery + idempotency across restarts); ``recover`` picks the
+    policy for jobs caught mid-flight by a crash.  ``hang_timeout``
+    (0 disables), ``abort_grace``, ``max_retries``, and
+    ``retry_backoff`` parameterize the worker watchdog.
     """
 
     address: str = DEFAULT_ADDRESS
@@ -90,18 +115,39 @@ class ServeConfig:
     history_path: Optional[str] = None
     telemetry_interval: float = 1.0
     drain_timeout: Optional[float] = None
+    journal_path: Optional[str] = None
+    recover: str = "requeue"
+    fsync_batch: int = 8
+    snapshot_every: int = 256
+    hang_timeout: float = 30.0
+    abort_grace: float = 5.0
+    max_retries: int = 2
+    retry_backoff: float = 0.25
 
     def __post_init__(self):
         if self.workers < 0:
             raise ValueError("workers must be >= 0")
         if self.pace < 0:
             raise ValueError("pace must be >= 0")
+        if self.recover not in RECOVER_POLICIES:
+            raise ValueError(
+                f"recover must be one of {RECOVER_POLICIES}, "
+                f"not {self.recover!r}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def watchdog_config(self) -> WatchdogConfig:
+        return WatchdogConfig(hang_timeout=self.hang_timeout,
+                              abort_grace=self.abort_grace,
+                              max_retries=self.max_retries,
+                              retry_backoff=self.retry_backoff)
 
 
 class ServeServer:
-    """One daemon instance.  ``start()`` binds and spins up threads;
-    ``serve_forever()`` additionally installs signal handlers and
-    blocks; ``shutdown()`` drains and stops (idempotent, thread-safe).
+    """One daemon instance.  ``start()`` binds, recovers the journal,
+    and spins up threads; ``serve_forever()`` additionally installs
+    signal handlers and blocks; ``shutdown()`` drains and stops
+    (idempotent, thread-safe).
     """
 
     def __init__(self, config: Optional[ServeConfig] = None):
@@ -111,11 +157,14 @@ class ServeServer:
         self._queue = PendingQueue(self.config.max_pending)
         self._jobs: Dict[str, Job] = {}
         self._history: List[str] = []
+        self._idempotency: Dict[str, str] = {}
         self._running_ids: set = set()
         self._counters = {key: 0 for key in (
             "submitted", "rejected", "dispatched",
-            "completed", "failed", "canceled")}
+            "completed", "failed", "canceled", "interrupted",
+            "requeued", "deduplicated", "hangs", "recovered")}
         self._next_job = 0
+        self._avg_wall: Optional[float] = None
         self._telemetry_seq = 0
         self._telemetry_ring: List[Dict[str, Any]] = []
         self._connections: set = set()
@@ -124,6 +173,9 @@ class ServeServer:
         self._workers_stop = threading.Event()
         self._stopped = threading.Event()
         self._threads: List[threading.Thread] = []
+        self._worker_count = 0
+        self._journal: Optional[JobJournal] = None
+        self._watchdog: Optional[WorkerWatchdog] = None
         self._started_monotonic = 0.0
         self._started_unix = 0.0
 
@@ -131,32 +183,46 @@ class ServeServer:
     # Lifecycle
 
     def start(self) -> str:
-        """Bind the listener and start all threads; returns the
-        resolved address (TCP port 0 becomes the real ephemeral port)."""
+        """Bind the listener, replay the journal (if any), and start
+        all threads; returns the resolved address (TCP port 0 becomes
+        the real ephemeral port)."""
         if self._listener is not None:
             raise RuntimeError("server already started")
         self._listener, self.address = create_listener(self.config.address)
         self._listener.settimeout(0.2)
         self._started_monotonic = time.monotonic()
         self._started_unix = time.time()
+        if self.config.journal_path:
+            self._recover_from_journal()
         accept = threading.Thread(target=self._accept_loop,
                                   name="serve-accept", daemon=True)
         accept.start()
         self._threads.append(accept)
-        for index in range(self.config.workers):
-            worker = threading.Thread(target=self._worker_loop,
-                                      name=f"serve-worker-{index}",
-                                      daemon=True)
-            worker.start()
-            self._threads.append(worker)
+        for _ in range(self.config.workers):
+            self._spawn_worker()
+        if self.config.workers > 0:
+            self._watchdog = WorkerWatchdog(self, self.config.watchdog_config())
+            self._watchdog.start()
         if self.config.telemetry_interval > 0:
             ticker = threading.Thread(target=self._telemetry_loop,
                                       name="serve-telemetry", daemon=True)
             ticker.start()
             self._threads.append(ticker)
-        log.info("serving on %s (%d workers, max_pending=%d)",
-                 self.address, self.config.workers, self.config.max_pending)
+        log.info("serving on %s (%d workers, max_pending=%d, journal=%s)",
+                 self.address, self.config.workers, self.config.max_pending,
+                 self.config.journal_path or "off")
         return self.address
+
+    def _spawn_worker(self) -> None:
+        with self._lock:
+            index = self._worker_count
+            self._worker_count += 1
+        worker = threading.Thread(target=self._worker_loop,
+                                  name=f"serve-worker-{index}",
+                                  daemon=True)
+        worker.start()
+        with self._lock:
+            self._threads.append(worker)
 
     def serve_forever(self) -> int:
         """CLI entry: start (if needed), trap SIGINT/SIGTERM into a
@@ -179,17 +245,24 @@ class ServeServer:
 
     def shutdown(self, mode: str = "drain") -> None:
         """Stop admission, cancel queued jobs, drain (or abort) running
-        jobs, persist history, release the socket.  Safe to call from
-        any thread, any number of times."""
+        jobs, compact + close the journal, persist history, release the
+        socket.  Safe to call from any thread, any number of times."""
         with self._lock:
-            if self._shutting_down:
-                self._stopped.wait()
-                return
+            already = self._shutting_down
             self._shutting_down = True
+        if already:
+            # A concurrent caller owns the drain; wait it out (outside
+            # the lock — the owner needs it to finish).
+            self._stopped.wait()
+            return
         clock = self._clock()
-        for job in self._queue.drain():
+        pending = self._queue.drain()
+        if self._watchdog is not None:
+            pending.extend(self._watchdog.drain_delayed())
+        for job in pending:
             if job.try_transition(CANCELED, clock=clock,
                                   error="daemon shutdown"):
+                self._journal_transition(job, durable=False)
                 self._finalize(job)
         if mode == "now":
             with self._lock:
@@ -198,9 +271,10 @@ class ServeServer:
         self._workers_stop.set()
         deadline = None if self.config.drain_timeout is None \
             else time.monotonic() + self.config.drain_timeout
-        for thread in self._threads:
-            if not thread.name.startswith("serve-worker"):
-                continue
+        with self._lock:
+            workers = [t for t in self._threads
+                       if t.name.startswith("serve-worker")]
+        for thread in workers:
             remaining = None if deadline is None \
                 else max(0.0, deadline - time.monotonic())
             thread.join(remaining)
@@ -212,6 +286,8 @@ class ServeServer:
                     for job_id in list(self._running_ids):
                         self._jobs[job_id].cancel_requested = True
                 thread.join()
+        if self._watchdog is not None:
+            self._watchdog.stop()
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -224,12 +300,147 @@ class ServeServer:
                 conn.close()
             except OSError:
                 pass
+        if self._journal is not None:
+            # Final compaction: a restart replays one small snapshot
+            # instead of the whole log.
+            try:
+                self._journal.write_snapshot(self._journal_state())
+            finally:
+                self._journal.close()
         self._write_history()
         log.info("shutdown complete: %s", self._counters)
         self._stopped.set()
 
     def _clock(self) -> float:
         return time.monotonic() - self._started_monotonic
+
+    # ------------------------------------------------------------------
+    # Journal: appends, snapshots, recovery
+
+    def _journal_submit(self, job: Job) -> None:
+        if self._journal is None:
+            return
+        self._journal.append({"type": "submit", "job": job.job_id,
+                              "spec": job.spec, "priority": job.priority,
+                              "key": job.key,
+                              "clock": job.transitions[0][1]},
+                             durable=True)
+
+    def _journal_transition(self, job: Job, durable: bool) -> None:
+        if self._journal is None:
+            return
+        state, clock = job.transitions[-1]
+        self._journal.append({"type": "transition", "job": job.job_id,
+                              "state": state, "clock": clock,
+                              "error": job.error, "attempt": job.attempt},
+                             durable=durable)
+
+    def _journal_result(self, job: Job) -> None:
+        if self._journal is None:
+            return
+        self._journal.append({"type": "result", "job": job.job_id,
+                              "result_json": job.result_json,
+                              "events_processed": job.events_processed,
+                              "sim_time": job.sim_time})
+
+    def _journal_reject(self) -> None:
+        if self._journal is None:
+            return
+        self._journal.append({"type": "reject"})
+
+    def _journal_state(self) -> Dict[str, Any]:
+        """Full daemon state as a snapshot payload (see
+        :meth:`JobJournal.write_snapshot`)."""
+        with self._lock:
+            jobs = []
+            for job_id in sorted(self._jobs):
+                record = self._jobs[job_id].describe()
+                record["result_json"] = self._jobs[job_id].result_json
+                jobs.append(record)
+            return {
+                "jobs": jobs,
+                "history": list(self._history),
+                "idempotency": dict(self._idempotency),
+                "counters": dict(self._counters),
+                "next_job": self._next_job,
+            }
+
+    def _maybe_snapshot(self) -> None:
+        if self._journal is not None and self._journal.should_snapshot:
+            self._journal.write_snapshot(self._journal_state())
+
+    def _recover_from_journal(self) -> None:
+        path = self.config.journal_path
+        snapshot, records, last_seq = JobJournal.load(path)
+        self._journal = JobJournal(path,
+                                   fsync_batch=self.config.fsync_batch,
+                                   snapshot_every=self.config.snapshot_every,
+                                   start_seq=last_seq)
+        state = JobJournal.replay(snapshot, records)
+        if not state["jobs"]:
+            return
+        with self._lock:
+            for key, value in state["counters"].items():
+                self._counters[key] = value
+            self._next_job = max(self._next_job, state["next_job"])
+            self._idempotency.update(state["idempotency"])
+        clock = self._clock()
+        readmit: List[Job] = []
+        for job_id in state["order"]:
+            record = state["jobs"][job_id]
+            scenario, build_error = None, None
+            try:
+                scenario = scenario_from_spec(record["spec"])
+            except Exception as exc:  # registry drift between restarts
+                build_error = f"{type(exc).__name__}: {exc}"
+            job = Job.restore(record, scenario)
+            with self._lock:
+                self._jobs[job_id] = job
+            if job.terminal:
+                continue
+            if scenario is None:
+                job.try_transition(FAILED, clock=clock, error=json.dumps(
+                    {"reason": "unrecoverable_spec",
+                     "detail": build_error}, sort_keys=True))
+                self._journal_transition(job, durable=False)
+                self._finalize(job)
+                continue
+            if job.state == QUEUED:
+                readmit.append(job)
+            elif self.config.recover == "fail":
+                state_at_crash = job.state
+                job.try_transition(INTERRUPTED, clock=clock,
+                                   error=json.dumps(
+                                       {"reason": "daemon_crash",
+                                        "state_at_crash": state_at_crash,
+                                        "recover": "fail"}, sort_keys=True))
+                self._journal_transition(job, durable=False)
+                self._finalize(job)
+            elif job.attempt > self.config.max_retries + 1:
+                job.try_transition(FAILED, clock=clock, error=json.dumps(
+                    {"reason": "retries_exhausted_at_recovery",
+                     "attempts": job.attempt}, sort_keys=True))
+                self._journal_transition(job, durable=False)
+                self._finalize(job)
+            else:  # requeue: deterministic re-run
+                job.attempt += 1
+                job.try_transition(QUEUED, clock=clock)
+                self._journal_transition(job, durable=False)
+                with self._lock:
+                    self._counters["recovered"] += 1
+                readmit.append(job)
+        # Queued jobs re-enter in submission order; the priority heap
+        # restores (-priority, seq) dispatch order on top of that.
+        self._history = list(state["history"])
+        for job in readmit:
+            self._queue.push(job, force=True)
+        # Compact immediately: the restart boots from one snapshot, and
+        # the recovery transitions just appended are folded in.
+        self._journal.write_snapshot(self._journal_state())
+        log.info("journal recovery: %d jobs (%d re-admitted, "
+                 "%d in history), policy=%s",
+                 len(state["jobs"]), len(readmit), len(self._history),
+                 self.config.recover)
 
     # ------------------------------------------------------------------
     # Accept loop and connection handling
@@ -255,7 +466,8 @@ class ServeServer:
                 try:
                     line = reader.readline()
                 except ProtocolError as exc:  # oversized input
-                    self._send(conn, error_response(exc.code, exc.message))
+                    self._send(conn, error_response(exc.code, exc.message,
+                                                    exc.details))
                     break
                 if line is None:
                     break
@@ -265,7 +477,8 @@ class ServeServer:
                     request = decode_request(line)
                     self._dispatch(request, conn)
                 except ProtocolError as exc:
-                    self._send(conn, error_response(exc.code, exc.message))
+                    self._send(conn, error_response(exc.code, exc.message,
+                                                    exc.details))
                 except Exception as exc:  # noqa: BLE001 — daemon must survive
                     log.exception("handler error")
                     self._send(conn, error_response(
@@ -310,25 +523,61 @@ class ServeServer:
         priority = request.get("priority", 0)
         if not isinstance(priority, int) or isinstance(priority, bool):
             raise ProtocolError("bad_request", "priority must be an integer")
+        key = request.get("key")
+        if key is not None and (not isinstance(key, str)
+                                or not key or len(key) > 256):
+            raise ProtocolError("bad_request",
+                                "key must be a non-empty string of at "
+                                "most 256 characters")
         with self._lock:
             if self._shutting_down:
                 raise ProtocolError("shutting_down",
                                     "daemon is shutting down; not accepting "
                                     "new jobs")
+            if key is not None and key in self._idempotency:
+                # Idempotent re-submit: the original job, whatever its
+                # current state — including across daemon restarts.
+                job = self._jobs[self._idempotency[key]]
+                self._counters["deduplicated"] += 1
+                return {"job": job.job_id, "state": job.state,
+                        "deduplicated": True,
+                        "queue_depth": len(self._queue)}
+            depth = len(self._queue)
+            if depth >= self.config.max_pending:
+                self._counters["rejected"] += 1
+                self._journal_reject()
+                raise ProtocolError(
+                    "queue_full",
+                    f"pending queue is full ({self.config.max_pending} "
+                    f"jobs)",
+                    details={"queue_depth": depth,
+                             "max_pending": self.config.max_pending,
+                             "retry_after_hint": self._retry_hint(depth)})
             self._next_job += 1
             job_id = f"job-{self._next_job:04d}"
             job = Job(job_id, scenario, spec, priority=priority,
-                      clock=self._clock())
+                      clock=self._clock(), key=key)
             self._jobs[job_id] = job
-            try:
-                self._queue.push(job)
-            except QueueFull as exc:
-                del self._jobs[job_id]
-                self._next_job -= 1
-                self._counters["rejected"] += 1
-                raise ProtocolError("queue_full", str(exc)) from exc
+            if key is not None:
+                self._idempotency[key] = job_id
             self._counters["submitted"] += 1
-        return {"job": job_id, "state": QUEUED, "queue_depth": len(self._queue)}
+            # WAL ordering: the submit is durable before it is either
+            # acknowledged or runnable, so an acked job is always
+            # recoverable and a crash here (chaos point "mid_enqueue")
+            # recovers an unacked-but-journaled job exactly once.
+            self._journal_submit(job)
+            maybe_kill("mid_enqueue")
+            self._queue.push(job, force=True)
+        self._maybe_snapshot()
+        return {"job": job_id, "state": QUEUED, "deduplicated": False,
+                "queue_depth": len(self._queue)}
+
+    def _retry_hint(self, depth: int) -> float:
+        """Seconds a rejected submitter should wait before retrying:
+        queue depth times the observed mean job wall time, divided
+        across the worker pool."""
+        avg = self._avg_wall if self._avg_wall is not None else 0.5
+        return round(max(0.05, depth * avg / max(1, self.config.workers)), 3)
 
     def _verb_status(self, request) -> Dict[str, Any]:
         job_id = request.get("job")
@@ -358,6 +607,7 @@ class ServeServer:
             removed = self._queue.remove(job.job_id)
             if removed is not None and removed.try_transition(
                     CANCELED, clock=clock, error="canceled by client"):
+                self._journal_transition(removed, durable=True)
                 self._finalize(removed)
                 return {"job": job.job_id, "state": CANCELED,
                         "canceled": True}
@@ -376,7 +626,8 @@ class ServeServer:
                                 "limit must be a positive integer")
         with self._lock:
             job_ids = self._history[-limit:]
-            records = [self._jobs[job_id].describe() for job_id in job_ids]
+            records = [self._jobs[job_id].describe() for job_id in job_ids
+                       if job_id in self._jobs]
         return {"jobs": records, "total": len(self._history)}
 
     def _verb_shutdown(self, request) -> Dict[str, Any]:
@@ -439,6 +690,11 @@ class ServeServer:
                 "running": sorted(self._running_ids),
                 "jobs": states,
                 "counters": dict(self._counters),
+                "idempotency_keys": len(self._idempotency),
+                "journal": (self._journal.stats()
+                            if self._journal is not None else None),
+                "watchdog": (self._watchdog.stats()
+                             if self._watchdog is not None else None),
             }
 
     def _telemetry_loop(self) -> None:
@@ -461,40 +717,82 @@ class ServeServer:
             self._execute(job)
 
     def _execute(self, job: Job) -> None:
+        attempt = job.attempt
         clock = self._clock()
         if job.cancel_requested \
                 or not job.try_transition(DISPATCHED, clock=clock):
-            job.try_transition(CANCELED, clock=clock,
-                               error="canceled before dispatch")
+            if job.try_transition(CANCELED, clock=clock,
+                                  error="canceled before dispatch"):
+                self._journal_transition(job, durable=True)
             self._finalize(job)
             return
+        self._journal_transition(job, durable=False)
         with self._lock:
             self._counters["dispatched"] += 1
             self._running_ids.add(job.job_id)
-        job.try_transition(RUNNING, clock=self._clock())
+        job.last_heartbeat = time.monotonic()
+        if job.try_transition(RUNNING, clock=self._clock()):
+            # Durable so --recover=fail can tell "was mid-run" from
+            # "never dispatched" after a crash.
+            self._journal_transition(job, durable=True)
+        maybe_kill("mid_run")
         started = time.monotonic()
-        previous = set_abort_check(lambda: job.cancel_requested)
+
+        def heartbeat_abort_check() -> bool:
+            # Called by the engine every 1024 events: one stamp is the
+            # watchdog heartbeat, the return value the cooperative
+            # abort (client cancel or watchdog hang-abort).
+            job.last_heartbeat = time.monotonic()
+            return job.cancel_requested or job.abort_requested
+
+        previous = set_abort_check(heartbeat_abort_check)
+        outcome, error, aborted = None, None, False
         try:
             outcome = run_scenario(job.scenario)
         except RunAborted:
-            job.try_transition(CANCELED, clock=self._clock(),
-                               error="canceled while running")
+            aborted = True
         except Exception as exc:  # noqa: BLE001 — job isolation contract
-            job.try_transition(FAILED, clock=self._clock(),
-                               error=f"{type(exc).__name__}: {exc}")
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            set_abort_check(previous)
+        if job.attempt != attempt:
+            # The watchdog declared this worker wedged and requeued the
+            # job (bumping attempt); whatever we produced is stale.
+            log.warning("%s: discarding stale attempt %d outcome",
+                        job.job_id, attempt)
+            return
+        if aborted and job.abort_requested and not job.cancel_requested:
+            # Watchdog hang-abort, not a client cancel: retry budget.
+            self._requeue_hung(job)
+            return
+        moved = False
+        if aborted:
+            moved = job.try_transition(CANCELED, clock=self._clock(),
+                                       error="canceled while running")
+        elif error is not None:
+            moved = job.try_transition(FAILED, clock=self._clock(),
+                                       error=error)
         else:
             job.result_json = outcome.to_json()
             job.events_processed = outcome.events_processed
             job.sim_time = outcome.sim_time
             if self._pace(outcome.sim_time, started, job):
-                job.try_transition(COMPLETED, clock=self._clock())
+                self._journal_result(job)
+                moved = job.try_transition(COMPLETED, clock=self._clock())
+                if moved:
+                    wall = time.monotonic() - started
+                    with self._lock:
+                        self._avg_wall = wall if self._avg_wall is None \
+                            else 0.8 * self._avg_wall + 0.2 * wall
             else:  # canceled mid-pacing: the result is discarded
                 job.result_json = None
-                job.try_transition(CANCELED, clock=self._clock(),
-                                   error="canceled while running (paced)")
-        finally:
-            set_abort_check(previous)
-            self._finalize(job)
+                moved = job.try_transition(CANCELED, clock=self._clock(),
+                                           error="canceled while running "
+                                                 "(paced)")
+        if moved:
+            self._journal_transition(job, durable=True)
+        self._finalize(job)
+        self._maybe_snapshot()
 
     def _pace(self, sim_time: float, started: float, job: Job) -> bool:
         """Wall-clock pacing: hold the worker until ``sim_time /
@@ -509,6 +807,7 @@ class ServeServer:
                 return True
             if job.cancel_requested:
                 return False
+            job.last_heartbeat = time.monotonic()
             time.sleep(min(remaining, 0.05))
 
     def _finalize(self, job: Job) -> None:
@@ -517,6 +816,92 @@ class ServeServer:
             if job.terminal and job.job_id not in self._history:
                 self._history.append(job.job_id)
                 self._counters[job.state.lower()] += 1
+
+    # ------------------------------------------------------------------
+    # Watchdog callbacks (see repro.serve.watchdog)
+
+    def _running_jobs(self) -> List[Job]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._running_ids]
+
+    def _note_hang(self, job: Job) -> None:
+        with self._lock:
+            self._counters["hangs"] += 1
+        log.warning("%s: heartbeat stale beyond %.3fs (attempt %d); "
+                    "requesting cooperative abort", job.job_id,
+                    self.config.hang_timeout, job.attempt)
+
+    def _admit_requeued(self, job: Job) -> None:
+        """A backoff delay elapsed: the requeued job re-enters the
+        pending queue (bypassing the admission bound — it was already
+        accepted once)."""
+        self._queue.push(job, force=True)
+
+    def _hang_reason(self, job: Job) -> str:
+        return json.dumps({"reason": "watchdog_hang",
+                           "attempts": job.attempt,
+                           "hang_timeout": self.config.hang_timeout,
+                           "max_retries": self.config.max_retries},
+                          sort_keys=True)
+
+    def _requeue_hung(self, job: Job) -> None:
+        """Cooperative hang path: the run aborted via the engine hook;
+        the worker itself retires or requeues it."""
+        with self._lock:
+            self._running_ids.discard(job.job_id)
+        job.abort_requested = False
+        job.hang_detected_at = None
+        job.last_heartbeat = None
+        if job.attempt > self.config.max_retries:
+            if job.try_transition(FAILED, clock=self._clock(),
+                                  error=self._hang_reason(job)):
+                self._journal_transition(job, durable=True)
+            self._finalize(job)
+            return
+        delay = self.config.watchdog_config().backoff_for(job.attempt)
+        job.attempt += 1
+        if job.try_transition(QUEUED, clock=self._clock()):
+            with self._lock:
+                self._counters["requeued"] += 1
+            self._journal_transition(job, durable=True)
+            if self._watchdog is not None:
+                self._watchdog.schedule_requeue(job, delay)
+            else:
+                self._admit_requeued(job)
+
+    def _force_requeue(self, job: Job) -> None:
+        """Forceful hang path: the worker never answered the
+        cooperative abort — presume it wedged, take the job away, and
+        replace the lost worker."""
+        with self._lock:
+            self._running_ids.discard(job.job_id)
+        if job.attempt > self.config.max_retries:
+            if job.try_transition(FAILED, clock=self._clock(),
+                                  error=self._hang_reason(job)):
+                self._journal_transition(job, durable=True)
+                self._finalize(job)
+                self._spawn_worker()
+            return
+        delay = self.config.watchdog_config().backoff_for(job.attempt)
+        job.abort_requested = False  # the re-run starts with a clean slate
+        job.hang_detected_at = None
+        job.last_heartbeat = None
+        job.attempt += 1  # before the transition: marks the old worker stale
+        if job.try_transition(QUEUED, clock=self._clock()):
+            with self._lock:
+                self._counters["requeued"] += 1
+            self._journal_transition(job, durable=True)
+            log.warning("%s: worker unresponsive; force-requeued "
+                        "(attempt %d) and spawning replacement worker",
+                        job.job_id, job.attempt)
+            if self._watchdog is not None:
+                self._watchdog.schedule_requeue(job, delay)
+            else:
+                self._admit_requeued(job)
+            self._spawn_worker()
+        else:
+            # Lost the race with the worker finishing after all.
+            job.attempt -= 1
 
     # ------------------------------------------------------------------
     # History persistence
@@ -532,20 +917,35 @@ class ServeServer:
                     "workers": self.config.workers,
                     "max_pending": self.config.max_pending,
                     "pace": self.config.pace,
+                    "journal": self.config.journal_path,
+                    "recover": self.config.recover,
                 },
                 "counters": dict(self._counters),
                 "jobs": [self._jobs[job_id].describe()
-                         for job_id in self._history],
+                         for job_id in self._history
+                         if job_id in self._jobs],
             }
-        with open(self.config.history_path, "w") as fh:
-            json.dump(payload, fh, sort_keys=True, separators=(",", ":"),
-                      default=float)
+        atomic_write_json(self.config.history_path, payload)
         log.info("wrote job history to %s (%d jobs)",
                  self.config.history_path, len(payload["jobs"]))
 
 
 # ---------------------------------------------------------------------------
 # Submission -> Scenario
+
+def scenario_from_spec(spec: Dict[str, Any]) -> Scenario:
+    """Rebuild the Scenario a journaled submission spec describes —
+    the recovery-side inverse of :func:`_build_scenario`.  Inline
+    specs carry ``kind``/``params`` (seed and duration already folded
+    in); registry specs carry ``name``/``seed``/``duration``/
+    ``overrides``."""
+    if "kind" in spec:
+        return Scenario(kind=spec["kind"], name=spec.get("name") or "",
+                        params=dict(spec.get("params") or {}))
+    overrides = spec.get("overrides") or {}
+    return make_scenario(spec["name"], seed=spec.get("seed", 0),
+                         duration=spec.get("duration"), **overrides)
+
 
 def _build_scenario(request: Dict[str, Any]):
     """Build the Scenario a submit request names, or raise a structured
@@ -606,7 +1006,8 @@ def _build_scenario(request: Dict[str, Any]):
                                 params=params)
         except Exception as exc:
             raise ProtocolError("bad_scenario", str(exc)) from exc
-        spec = {"kind": kind, "params": params}
+        spec = {"kind": kind, "name": inline.get("name") or "",
+                "params": params}
         return scenario, spec
     raise ProtocolError("bad_request",
                         "submit needs a registry 'name' or an inline "

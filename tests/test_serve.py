@@ -22,6 +22,8 @@ from repro.serve import (
     COMPLETED,
     DISPATCHED,
     FAILED,
+    INTERRUPTED,
+    JOB_STATES,
     QUEUED,
     RUNNING,
     Job,
@@ -118,6 +120,22 @@ class TestProtocol:
             left.close()
             right.close()
 
+    def test_line_reader_exactly_at_limit(self):
+        # The bound is exclusive of the newline: an N-byte line passes,
+        # N+1 bytes without a newline is oversized.
+        left, right = socket.socketpair()
+        try:
+            reader = LineReader(right, max_line=64)
+            left.sendall(b"y" * 64 + b"\n")
+            assert reader.readline() == b"y" * 64
+            left.sendall(b"z" * 65)  # no newline yet: already doomed
+            with pytest.raises(ProtocolError) as excinfo:
+                reader.readline()
+            assert excinfo.value.code == "oversized"
+        finally:
+            left.close()
+            right.close()
+
 
 # ---------------------------------------------------------------------------
 # Jobs and the bounded queue
@@ -165,6 +183,49 @@ class TestJobLifecycle:
         job.transition(FAILED, error="ValueError: boom")
         assert job.describe()["error"] == "ValueError: boom"
 
+    # The full edge table, including the PR-9 recovery edges: requeue
+    # (DISPATCHED/RUNNING -> QUEUED) and INTERRUPTED.  Every pair NOT
+    # listed here must raise — the exhaustive sweep below proves the
+    # state machine admits exactly these moves and nothing else.
+    EXPECTED_EDGES = {
+        QUEUED: {DISPATCHED, CANCELED},
+        DISPATCHED: {RUNNING, CANCELED, QUEUED, INTERRUPTED},
+        RUNNING: {COMPLETED, FAILED, CANCELED, QUEUED, INTERRUPTED},
+        COMPLETED: set(),
+        FAILED: set(),
+        CANCELED: set(),
+        INTERRUPTED: set(),
+    }
+
+    @pytest.mark.parametrize("source", JOB_STATES)
+    @pytest.mark.parametrize("target", JOB_STATES)
+    def test_transition_matrix_is_exact(self, source, target):
+        job = _job()
+        job.state = source  # place the job without walking a path
+        if target in self.EXPECTED_EDGES[source]:
+            job.transition(target)
+            assert job.state == target
+        else:
+            with pytest.raises(LifecycleError):
+                job.transition(target)
+            assert job.state == source
+            assert not job.try_transition(target)
+
+    def test_restore_round_trips_describe(self):
+        job = _job()
+        job.transition(DISPATCHED, clock=0.5)
+        job.transition(RUNNING, clock=0.6)
+        job.transition(COMPLETED, clock=0.9)
+        job.result_json = '{"x":1}'
+        record = job.describe()
+        record["result_json"] = job.result_json
+        restored = Job.restore(record, job.scenario)
+        assert restored.state == COMPLETED
+        assert restored.result_json == '{"x":1}'
+        assert restored.recovered
+        assert [list(t) for t in restored.transitions] == \
+            [list(t) for t in job.transitions]
+
 
 class TestPendingQueue:
     def test_priority_then_fifo_order(self):
@@ -205,6 +266,35 @@ class TestPendingQueue:
         queue.push(_job("job-2", priority=3))
         assert [j.job_id for j in queue.drain()] == ["job-2", "job-1"]
         assert len(queue) == 0
+
+    def test_force_push_bypasses_bound(self):
+        queue = PendingQueue(max_pending=1)
+        queue.push(_job("job-1"))
+        with pytest.raises(QueueFull):
+            queue.push(_job("job-2"))
+        queue.push(_job("job-2"), force=True)  # requeue/recovery path
+        assert len(queue) == 2
+
+    def test_heap_stays_bounded_under_cancel_churn(self):
+        # Lazy cancels leave stale heap entries; the compaction
+        # threshold must keep the raw heap O(live), not O(history).
+        queue = PendingQueue(max_pending=10_000)
+        live = [_job(f"keep-{i}") for i in range(4)]
+        for job in live:
+            queue.push(job)
+        max_heap = 0
+        for round_no in range(200):
+            victim = _job(f"churn-{round_no}")
+            queue.push(victim)
+            assert queue.remove(victim.job_id) is victim
+            max_heap = max(max_heap, queue.heap_size)
+        bound = len(live) + 2 * max(PendingQueue.COMPACT_MIN_STALE,
+                                    len(live))
+        assert max_heap <= bound, \
+            f"heap grew to {max_heap} under churn (bound {bound})"
+        assert len(queue) == len(live)
+        assert {queue.pop(timeout=0).job_id for _ in live} == \
+            {job.job_id for job in live}
 
 
 # ---------------------------------------------------------------------------
@@ -360,6 +450,55 @@ class TestQueueSemanticsOverAPI:
                 assert snapshot["queue_depth"] == 2
                 assert snapshot["counters"]["rejected"] == 1
                 assert snapshot["counters"]["submitted"] == 2
+
+    def test_queue_full_carries_depth_and_retry_hint(self):
+        with serve_daemon(workers=0, max_pending=2) as (_, address):
+            with ServeClient(address) as client:
+                client.submit(**_scenario())
+                client.submit(**_scenario())
+                with pytest.raises(ServeError) as excinfo:
+                    client.submit(**_scenario())
+                details = excinfo.value.details
+                assert details["queue_depth"] == 2
+                assert details["max_pending"] == 2
+                assert details["retry_after_hint"] > 0
+
+    def test_submit_retries_honor_hint_until_space(self):
+        with serve_daemon(workers=0, max_pending=1) as (server, address):
+            with ServeClient(address) as client:
+                blocker = client.submit(**_scenario())
+
+                def free_slot():
+                    time.sleep(0.15)
+                    client2 = ServeClient(address)
+                    client2.cancel(blocker)
+                    client2.close()
+
+                helper = threading.Thread(target=free_slot)
+                helper.start()
+                try:
+                    job = client.submit(**_scenario(), retries=50,
+                                        max_retry_wait=0.05)
+                finally:
+                    helper.join()
+                assert client.status(job)["state"] == QUEUED
+
+    def test_idempotency_key_dedups_submits(self):
+        with serve_daemon(workers=0, max_pending=4) as (_, address):
+            with ServeClient(address) as client:
+                first = client.submit(**_scenario(),
+                                      idempotency_key="run-42")
+                again = client.submit(**_scenario(),
+                                      idempotency_key="run-42")
+                other = client.submit(**_scenario(),
+                                      idempotency_key="run-43")
+                assert again == first
+                assert other != first
+                snapshot = client.telemetry()["snapshot"]
+                assert snapshot["counters"]["submitted"] == 2
+                assert snapshot["counters"]["deduplicated"] == 1
+                assert snapshot["queue_depth"] == 2
+                assert snapshot["idempotency_keys"] == 2
 
     def test_cancel_queued_job(self):
         with serve_daemon(workers=0) as (_, address):
