@@ -6,7 +6,9 @@ A submitted scenario becomes a :class:`Job` that moves through
                                         INTERRUPTED}
 
 where QUEUED and DISPATCHED jobs can also jump straight to CANCELED
-(cancel verb, or shutdown draining the queue).  Two recovery edges
+(cancel verb, or shutdown draining the queue), and QUEUED jobs can
+jump straight to FAILED (admission-time failure: a journaled spec
+that can no longer be rebuilt at recovery).  Two recovery edges
 exist on top of the happy path: DISPATCHED/RUNNING -> QUEUED is a
 *requeue* (crash recovery under ``--recover=requeue``, or the watchdog
 re-admitting a hung job), and DISPATCHED/RUNNING -> INTERRUPTED is the
@@ -55,7 +57,7 @@ JOB_STATES = (QUEUED, DISPATCHED, RUNNING, COMPLETED, FAILED, CANCELED,
 TERMINAL_STATES = frozenset((COMPLETED, FAILED, CANCELED, INTERRUPTED))
 
 _ALLOWED = {
-    QUEUED: frozenset((DISPATCHED, CANCELED)),
+    QUEUED: frozenset((DISPATCHED, CANCELED, FAILED)),
     DISPATCHED: frozenset((RUNNING, CANCELED, QUEUED, INTERRUPTED)),
     RUNNING: frozenset((COMPLETED, FAILED, CANCELED, QUEUED, INTERRUPTED)),
     COMPLETED: frozenset(),

@@ -28,10 +28,16 @@ that never hit disk just means the job replays as QUEUED, which the
 **Compaction.**  Once ``snapshot_every`` records accumulate, the
 daemon writes a full-state snapshot to ``<path>.snapshot`` atomically
 (temp file + ``os.replace`` — a crash mid-persist can never truncate
-the previous snapshot) and truncates the log.  Every record carries a
-monotonic ``seq`` and the snapshot stores ``last_seq``; replay skips
-records with ``seq <= last_seq``, so a crash *between* the snapshot
-replace and the log truncation double-applies nothing.
+the previous snapshot) and rewrites the log (also via temp file +
+``os.replace``) down to the records the snapshot does *not* cover.
+Every record carries a monotonic ``seq`` and the snapshot stores
+``last_seq``: the caller reads :attr:`JobJournal.last_seq` *before*
+building the state payload and passes it as the compaction ``floor``,
+so a record appended concurrently — journaled but absent from the
+payload — has ``seq > floor`` and survives in the rewritten log
+instead of being compacted away.  Replay skips records with ``seq <=
+last_seq``, so a crash *between* the snapshot replace and the log
+rewrite double-applies nothing.
 
 **Torn tails.**  A crash mid-append can leave a final partial line.
 :meth:`JobJournal.load` tolerates exactly that — an undecodable *last*
@@ -170,28 +176,80 @@ class JobJournal:
         with self._lock:
             return self._since_snapshot >= self.snapshot_every
 
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number appended so far.  Read this *before*
+        building a snapshot payload and pass it to
+        :meth:`write_snapshot` as ``floor``: any record appended while
+        the payload is being built then has ``seq > floor`` and is
+        preserved by the compaction instead of truncated."""
+        with self._lock:
+            return self._seq
+
     # ------------------------------------------------------------------
     # Compaction
 
-    def write_snapshot(self, payload: Dict[str, Any]) -> None:
-        """Persist the full daemon state atomically, then truncate the
-        log.  ``payload`` is the server-built state dict; this adds
-        ``last_seq``.  Crash-safe at every instant: before the
-        ``os.replace`` the old snapshot + full log replay; after it but
-        before the truncation, the new snapshot's ``last_seq`` makes
-        the stale log records no-ops."""
+    def write_snapshot(self, payload: Dict[str, Any],
+                       floor: Optional[int] = None) -> None:
+        """Persist the full daemon state atomically, then compact the
+        log down to records with ``seq > floor``.
+
+        ``payload`` is the server-built state dict; this adds
+        ``last_seq = floor`` (defaulting to the current sequence
+        number — only safe when the caller serialized the payload
+        build against appends).  Records newer than ``floor`` were
+        journaled while the payload was being built and are absent
+        from it, so they are *rewritten into the fresh log* rather
+        than truncated — an acknowledged record can never be compacted
+        away.  Crash-safe at every instant: before the snapshot
+        ``os.replace`` the old snapshot + full log replay; after it
+        the new snapshot's ``last_seq`` makes covered log records
+        no-ops; the log rewrite itself goes through a temp file +
+        ``os.replace``, so the log is always either the old one or the
+        compacted one."""
         with self._lock:
+            if floor is None:
+                floor = self._seq
             payload = dict(payload)
             payload["version"] = 1
-            payload["last_seq"] = self._seq
+            payload["last_seq"] = floor
             self._sync_locked()
+            survivors = self._tail_after_locked(floor)
             atomic_write_json(self.snapshot_path, payload)
             maybe_kill("mid_compaction")
             self._fh.close()
-            self._fh = open(self.path, "wb")
-            self._sync_locked()
-            self._since_snapshot = 0
+            tmp = f"{self.path}.compact"
+            with open(tmp, "wb") as fh:
+                for line in survivors:
+                    fh.write(line)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._fh = open(self.path, "ab")
+            self._unsynced = 0
+            self._since_snapshot = len(survivors)
             self.snapshots_written += 1
+
+    def _tail_after_locked(self, floor: int) -> List[bytes]:
+        """Raw journal lines with ``seq > floor`` (lock held, file
+        synced).  A torn tail left by a pre-boot crash was never
+        acknowledged and is dropped, matching :meth:`load`."""
+        try:
+            with open(self.path, "rb") as fh:
+                raw = fh.read()
+        except FileNotFoundError:
+            return []  # log deleted externally: nothing to preserve
+        survivors: List[bytes] = []
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("seq", 0) > floor:
+                survivors.append(line + b"\n")
+        return survivors
 
     def close(self) -> None:
         with self._lock:
@@ -304,6 +362,12 @@ class JobJournal:
             kind = record.get("type")
             if kind == "submit":
                 job_id = record["job"]
+                if job_id in jobs:
+                    # Already captured by the snapshot (the record was
+                    # appended while the snapshot payload was built and
+                    # preserved past compaction): re-applying would
+                    # duplicate the job in ``order`` and re-run it.
+                    continue
                 jobs[job_id] = {
                     "id": job_id,
                     "state": "QUEUED",
@@ -327,6 +391,14 @@ class JobJournal:
                 if job is None:
                     continue  # transition for a compacted-away job
                 state = record["state"]
+                entry = [state, record.get("clock", 0.0)]
+                if job["state"] == state and job["transitions"] \
+                        and job["transitions"][-1] == entry:
+                    # The snapshot already reflects this exact
+                    # transition (record preserved past compaction):
+                    # skip it so counters and the transition history
+                    # are not double-applied.
+                    continue
                 job["state"] = state
                 job["attempt"] = record.get("attempt", job.get("attempt", 1))
                 if record.get("error") is not None:

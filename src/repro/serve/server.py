@@ -260,10 +260,12 @@ class ServeServer:
         if self._watchdog is not None:
             pending.extend(self._watchdog.drain_delayed())
         for job in pending:
-            if job.try_transition(CANCELED, clock=clock,
-                                  error="daemon shutdown"):
-                self._journal_transition(job, durable=False)
-                self._finalize(job)
+            with self._lock:
+                if job.try_transition(CANCELED, clock=clock,
+                                      error="daemon shutdown"):
+                    self._journal_transition(job, CANCELED, clock,
+                                             durable=False)
+                    self._finalize(job)
         if mode == "now":
             with self._lock:
                 for job_id in list(self._running_ids):
@@ -304,7 +306,7 @@ class ServeServer:
             # Final compaction: a restart replays one small snapshot
             # instead of the whole log.
             try:
-                self._journal.write_snapshot(self._journal_state())
+                self._compact_journal()
             finally:
                 self._journal.close()
         self._write_history()
@@ -326,10 +328,15 @@ class ServeServer:
                               "clock": job.transitions[0][1]},
                              durable=True)
 
-    def _journal_transition(self, job: Job, durable: bool) -> None:
+    def _journal_transition(self, job: Job, state: str, clock: float,
+                            durable: bool) -> None:
+        """Journal exactly the transition the caller just performed.
+        ``state``/``clock`` are passed explicitly — never read back
+        from ``job.transitions[-1]``, which a concurrent requeue or
+        dispatch could have moved past between the caller's
+        ``try_transition`` and this append."""
         if self._journal is None:
             return
-        state, clock = job.transitions[-1]
         self._journal.append({"type": "transition", "job": job.job_id,
                               "state": state, "clock": clock,
                               "error": job.error, "attempt": job.attempt},
@@ -366,8 +373,20 @@ class ServeServer:
             }
 
     def _maybe_snapshot(self) -> None:
-        if self._journal is not None and self._journal.should_snapshot:
-            self._journal.write_snapshot(self._journal_state())
+        if self._journal is None or not self._journal.should_snapshot:
+            return
+        self._compact_journal()
+
+    def _compact_journal(self) -> None:
+        """Snapshot + compact without losing concurrent appends: the
+        seq floor is read *before* the state payload is built and the
+        server lock is held across build + write, so every record the
+        compaction drops (``seq <= floor``) is provably reflected in
+        the snapshot, and anything a non-lock-holding appender slips
+        in survives in the rewritten log (``seq > floor``)."""
+        with self._lock:
+            floor = self._journal.last_seq
+            self._journal.write_snapshot(self._journal_state(), floor=floor)
 
     def _recover_from_journal(self) -> None:
         path = self.config.journal_path
@@ -376,14 +395,21 @@ class ServeServer:
                                    fsync_batch=self.config.fsync_batch,
                                    snapshot_every=self.config.snapshot_every,
                                    start_seq=last_seq)
+        if snapshot is None and not records:
+            return  # fresh journal: nothing to restore, no compaction
         state = JobJournal.replay(snapshot, records)
-        if not state["jobs"]:
-            return
         with self._lock:
+            # Counters (a reject-only journal still carries a rejected
+            # count), idempotency, and the *replayed* history all come
+            # back even when no jobs survived compaction; the history
+            # lands before the re-admission loop so _finalize() appends
+            # jobs terminalized during recovery on top of it instead of
+            # being wiped by a later wholesale assignment.
             for key, value in state["counters"].items():
                 self._counters[key] = value
             self._next_job = max(self._next_job, state["next_job"])
             self._idempotency.update(state["idempotency"])
+            self._history = list(state["history"])
         clock = self._clock()
         readmit: List[Job] = []
         for job_id in state["order"]:
@@ -402,7 +428,7 @@ class ServeServer:
                 job.try_transition(FAILED, clock=clock, error=json.dumps(
                     {"reason": "unrecoverable_spec",
                      "detail": build_error}, sort_keys=True))
-                self._journal_transition(job, durable=False)
+                self._journal_transition(job, FAILED, clock, durable=False)
                 self._finalize(job)
                 continue
             if job.state == QUEUED:
@@ -414,29 +440,29 @@ class ServeServer:
                                        {"reason": "daemon_crash",
                                         "state_at_crash": state_at_crash,
                                         "recover": "fail"}, sort_keys=True))
-                self._journal_transition(job, durable=False)
+                self._journal_transition(job, INTERRUPTED, clock,
+                                         durable=False)
                 self._finalize(job)
             elif job.attempt > self.config.max_retries + 1:
                 job.try_transition(FAILED, clock=clock, error=json.dumps(
                     {"reason": "retries_exhausted_at_recovery",
                      "attempts": job.attempt}, sort_keys=True))
-                self._journal_transition(job, durable=False)
+                self._journal_transition(job, FAILED, clock, durable=False)
                 self._finalize(job)
             else:  # requeue: deterministic re-run
                 job.attempt += 1
                 job.try_transition(QUEUED, clock=clock)
-                self._journal_transition(job, durable=False)
+                self._journal_transition(job, QUEUED, clock, durable=False)
                 with self._lock:
                     self._counters["recovered"] += 1
                 readmit.append(job)
         # Queued jobs re-enter in submission order; the priority heap
         # restores (-priority, seq) dispatch order on top of that.
-        self._history = list(state["history"])
         for job in readmit:
             self._queue.push(job, force=True)
         # Compact immediately: the restart boots from one snapshot, and
         # the recovery transitions just appended are folded in.
-        self._journal.write_snapshot(self._journal_state())
+        self._compact_journal()
         log.info("journal recovery: %d jobs (%d re-admitted, "
                  "%d in history), policy=%s",
                  len(state["jobs"]), len(readmit), len(self._history),
@@ -604,13 +630,15 @@ class ServeServer:
         job = self._get_job(request.get("job"))
         clock = self._clock()
         if job.state == QUEUED:
-            removed = self._queue.remove(job.job_id)
-            if removed is not None and removed.try_transition(
-                    CANCELED, clock=clock, error="canceled by client"):
-                self._journal_transition(removed, durable=True)
-                self._finalize(removed)
-                return {"job": job.job_id, "state": CANCELED,
-                        "canceled": True}
+            with self._lock:
+                removed = self._queue.remove(job.job_id)
+                if removed is not None and removed.try_transition(
+                        CANCELED, clock=clock, error="canceled by client"):
+                    self._journal_transition(removed, CANCELED, clock,
+                                             durable=True)
+                    self._finalize(removed)
+                    return {"job": job.job_id, "state": CANCELED,
+                            "canceled": True}
         if job.terminal:
             return {"job": job.job_id, "state": job.state, "canceled": False}
         # Dispatched or running (or queued-but-popped): cooperative
@@ -719,22 +747,31 @@ class ServeServer:
     def _execute(self, job: Job) -> None:
         attempt = job.attempt
         clock = self._clock()
-        if job.cancel_requested \
-                or not job.try_transition(DISPATCHED, clock=clock):
-            if job.try_transition(CANCELED, clock=clock,
-                                  error="canceled before dispatch"):
-                self._journal_transition(job, durable=True)
-            self._finalize(job)
-            return
-        self._journal_transition(job, durable=False)
+        # Transition + journal append + counters happen atomically
+        # under the server lock at every step, so a concurrent
+        # compaction (which holds the same lock across state-build +
+        # snapshot) can never truncate a record whose effects are not
+        # yet in the snapshot, and the journaled record is exactly the
+        # transition this worker performed.
         with self._lock:
+            if job.cancel_requested \
+                    or not job.try_transition(DISPATCHED, clock=clock):
+                if job.try_transition(CANCELED, clock=clock,
+                                      error="canceled before dispatch"):
+                    self._journal_transition(job, CANCELED, clock,
+                                             durable=True)
+                self._finalize(job)
+                return
+            self._journal_transition(job, DISPATCHED, clock, durable=False)
             self._counters["dispatched"] += 1
             self._running_ids.add(job.job_id)
         job.last_heartbeat = time.monotonic()
-        if job.try_transition(RUNNING, clock=self._clock()):
-            # Durable so --recover=fail can tell "was mid-run" from
-            # "never dispatched" after a crash.
-            self._journal_transition(job, durable=True)
+        with self._lock:
+            clock = self._clock()
+            if job.try_transition(RUNNING, clock=clock):
+                # Durable so --recover=fail can tell "was mid-run" from
+                # "never dispatched" after a crash.
+                self._journal_transition(job, RUNNING, clock, durable=True)
         maybe_kill("mid_run")
         started = time.monotonic()
 
@@ -765,33 +802,36 @@ class ServeServer:
             # Watchdog hang-abort, not a client cancel: retry budget.
             self._requeue_hung(job)
             return
-        moved = False
-        if aborted:
-            moved = job.try_transition(CANCELED, clock=self._clock(),
-                                       error="canceled while running")
-        elif error is not None:
-            moved = job.try_transition(FAILED, clock=self._clock(),
-                                       error=error)
-        else:
+        paced = True
+        if not aborted and error is None:
             job.result_json = outcome.to_json()
             job.events_processed = outcome.events_processed
             job.sim_time = outcome.sim_time
-            if self._pace(outcome.sim_time, started, job):
+            paced = self._pace(outcome.sim_time, started, job)
+        with self._lock:
+            if job.attempt != attempt:
+                # The watchdog force-requeued the job while we paced.
+                log.warning("%s: discarding stale attempt %d outcome",
+                            job.job_id, attempt)
+                return
+            clock = self._clock()
+            if aborted:
+                final, err = CANCELED, "canceled while running"
+            elif error is not None:
+                final, err = FAILED, error
+            elif paced:
+                final, err = COMPLETED, None
                 self._journal_result(job)
-                moved = job.try_transition(COMPLETED, clock=self._clock())
-                if moved:
-                    wall = time.monotonic() - started
-                    with self._lock:
-                        self._avg_wall = wall if self._avg_wall is None \
-                            else 0.8 * self._avg_wall + 0.2 * wall
             else:  # canceled mid-pacing: the result is discarded
                 job.result_json = None
-                moved = job.try_transition(CANCELED, clock=self._clock(),
-                                           error="canceled while running "
-                                                 "(paced)")
-        if moved:
-            self._journal_transition(job, durable=True)
-        self._finalize(job)
+                final, err = CANCELED, "canceled while running (paced)"
+            if job.try_transition(final, clock=clock, error=err):
+                self._journal_transition(job, final, clock, durable=True)
+                if final == COMPLETED:
+                    wall = time.monotonic() - started
+                    self._avg_wall = wall if self._avg_wall is None \
+                        else 0.8 * self._avg_wall + 0.2 * wall
+            self._finalize(job)
         self._maybe_snapshot()
 
     def _pace(self, sim_time: float, started: float, job: Job) -> bool:
@@ -847,23 +887,27 @@ class ServeServer:
     def _requeue_hung(self, job: Job) -> None:
         """Cooperative hang path: the run aborted via the engine hook;
         the worker itself retires or requeues it."""
+        requeued = False
         with self._lock:
             self._running_ids.discard(job.job_id)
-        job.abort_requested = False
-        job.hang_detected_at = None
-        job.last_heartbeat = None
-        if job.attempt > self.config.max_retries:
-            if job.try_transition(FAILED, clock=self._clock(),
-                                  error=self._hang_reason(job)):
-                self._journal_transition(job, durable=True)
-            self._finalize(job)
-            return
-        delay = self.config.watchdog_config().backoff_for(job.attempt)
-        job.attempt += 1
-        if job.try_transition(QUEUED, clock=self._clock()):
-            with self._lock:
+            job.abort_requested = False
+            job.hang_detected_at = None
+            job.last_heartbeat = None
+            clock = self._clock()
+            if job.attempt > self.config.max_retries:
+                if job.try_transition(FAILED, clock=clock,
+                                      error=self._hang_reason(job)):
+                    self._journal_transition(job, FAILED, clock,
+                                             durable=True)
+                self._finalize(job)
+                return
+            delay = self.config.watchdog_config().backoff_for(job.attempt)
+            job.attempt += 1
+            if job.try_transition(QUEUED, clock=clock):
                 self._counters["requeued"] += 1
-            self._journal_transition(job, durable=True)
+                self._journal_transition(job, QUEUED, clock, durable=True)
+                requeued = True
+        if requeued:
             if self._watchdog is not None:
                 self._watchdog.schedule_requeue(job, delay)
             else:
@@ -875,33 +919,36 @@ class ServeServer:
         replace the lost worker."""
         with self._lock:
             self._running_ids.discard(job.job_id)
-        if job.attempt > self.config.max_retries:
-            if job.try_transition(FAILED, clock=self._clock(),
-                                  error=self._hang_reason(job)):
-                self._journal_transition(job, durable=True)
-                self._finalize(job)
-                self._spawn_worker()
-            return
-        delay = self.config.watchdog_config().backoff_for(job.attempt)
-        job.abort_requested = False  # the re-run starts with a clean slate
-        job.hang_detected_at = None
-        job.last_heartbeat = None
-        job.attempt += 1  # before the transition: marks the old worker stale
-        if job.try_transition(QUEUED, clock=self._clock()):
-            with self._lock:
-                self._counters["requeued"] += 1
-            self._journal_transition(job, durable=True)
+            clock = self._clock()
+            if job.attempt > self.config.max_retries:
+                if job.try_transition(FAILED, clock=clock,
+                                      error=self._hang_reason(job)):
+                    self._journal_transition(job, FAILED, clock,
+                                             durable=True)
+                    self._finalize(job)
+                    self._spawn_worker()
+                return
+            delay = self.config.watchdog_config().backoff_for(job.attempt)
+            job.abort_requested = False  # the re-run starts clean
+            job.hang_detected_at = None
+            job.last_heartbeat = None
+            # Bumped before the transition: marks the old worker's
+            # eventual outcome as stale.
+            job.attempt += 1
+            if not job.try_transition(QUEUED, clock=clock):
+                # Lost the race with the worker finishing after all.
+                job.attempt -= 1
+                return
+            self._counters["requeued"] += 1
+            self._journal_transition(job, QUEUED, clock, durable=True)
             log.warning("%s: worker unresponsive; force-requeued "
                         "(attempt %d) and spawning replacement worker",
                         job.job_id, job.attempt)
-            if self._watchdog is not None:
-                self._watchdog.schedule_requeue(job, delay)
-            else:
-                self._admit_requeued(job)
-            self._spawn_worker()
+        if self._watchdog is not None:
+            self._watchdog.schedule_requeue(job, delay)
         else:
-            # Lost the race with the worker finishing after all.
-            job.attempt -= 1
+            self._admit_requeued(job)
+        self._spawn_worker()
 
     # ------------------------------------------------------------------
     # History persistence

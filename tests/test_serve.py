@@ -184,11 +184,13 @@ class TestJobLifecycle:
         assert job.describe()["error"] == "ValueError: boom"
 
     # The full edge table, including the PR-9 recovery edges: requeue
-    # (DISPATCHED/RUNNING -> QUEUED) and INTERRUPTED.  Every pair NOT
-    # listed here must raise — the exhaustive sweep below proves the
-    # state machine admits exactly these moves and nothing else.
+    # (DISPATCHED/RUNNING -> QUEUED), INTERRUPTED, and admission-time
+    # failure (QUEUED -> FAILED for a spec that can no longer be
+    # rebuilt at recovery).  Every pair NOT listed here must raise —
+    # the exhaustive sweep below proves the state machine admits
+    # exactly these moves and nothing else.
     EXPECTED_EDGES = {
-        QUEUED: {DISPATCHED, CANCELED},
+        QUEUED: {DISPATCHED, CANCELED, FAILED},
         DISPATCHED: {RUNNING, CANCELED, QUEUED, INTERRUPTED},
         RUNNING: {COMPLETED, FAILED, CANCELED, QUEUED, INTERRUPTED},
         COMPLETED: set(),

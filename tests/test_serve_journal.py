@@ -171,6 +171,30 @@ class TestSnapshotCompaction:
         state = JobJournal.replay(snapshot, records)
         assert state["counters"]["rejected"] == 3  # 2 from snapshot + 1
 
+    def test_snapshot_preserves_records_appended_past_floor(self, tmp_path):
+        # The server reads the seq floor, then builds the state
+        # payload; a record appended in between is absent from the
+        # payload and must survive compaction in the rewritten log —
+        # truncating it would permanently lose a durably-acked job.
+        path = str(tmp_path / "wal.ndjson")
+        journal = JobJournal(path)
+        journal.append(_submit_record("job-0001"), durable=True)
+        floor = journal.last_seq
+        journal.append(_submit_record("job-0002"), durable=True)
+        journal.write_snapshot(
+            {"jobs": [], "history": [], "idempotency": {},
+             "counters": {"submitted": 1}, "next_job": 1}, floor=floor)
+        journal.append({"type": "reject"}, durable=True)
+        journal.close()
+        snapshot, records, last_seq = JobJournal.load(path)
+        assert snapshot["last_seq"] == floor == 1
+        assert [r.get("job") for r in records] == ["job-0002", None]
+        assert last_seq == 3
+        state = JobJournal.replay(snapshot, records)
+        assert "job-0002" in state["jobs"]
+        assert state["counters"]["submitted"] == 2
+        assert state["counters"]["rejected"] == 1
+
     def test_atomic_write_preserves_original_until_replace(self, tmp_path):
         target = tmp_path / "out.json"
         target.write_text('{"old": true}')
@@ -227,6 +251,46 @@ class TestReplay:
         job = state["jobs"]["job-0001"]
         assert job["state"] == "RUNNING"
         assert job["result_json"] is None
+
+    def test_submit_already_in_snapshot_not_reapplied(self):
+        # A submit record preserved past compaction (appended while the
+        # snapshot payload was being built): re-applying it would put
+        # the job in ``order`` twice and run it twice.
+        snapshot = {"version": 1, "last_seq": 0, "next_job": 1,
+                    "history": [], "idempotency": {"k1": "job-0001"},
+                    "counters": {"submitted": 1},
+                    "jobs": [{"id": "job-0001", "state": QUEUED,
+                              "spec": {"name": "faults", "seed": 0,
+                                       "duration": 0.05, "overrides": {}},
+                              "priority": 0, "key": "k1", "attempt": 1,
+                              "error": None, "result_json": None,
+                              "events_processed": None, "sim_time": None,
+                              "transitions": [[QUEUED, 0.5]]}]}
+        records = [dict(_submit_record("job-0001", key="k1"), seq=1)]
+        state = JobJournal.replay(snapshot, records)
+        assert state["order"] == ["job-0001"]
+        assert state["counters"]["submitted"] == 1
+        assert state["jobs"]["job-0001"]["transitions"] == [[QUEUED, 0.5]]
+
+    def test_transition_already_in_snapshot_not_reapplied(self):
+        snapshot = {"version": 1, "last_seq": 0, "next_job": 1,
+                    "history": [], "idempotency": {},
+                    "counters": {"submitted": 1, "dispatched": 1},
+                    "jobs": [{"id": "job-0001", "state": "DISPATCHED",
+                              "spec": {"name": "faults", "seed": 0,
+                                       "duration": 0.05, "overrides": {}},
+                              "priority": 0, "key": None, "attempt": 1,
+                              "error": None, "result_json": None,
+                              "events_processed": None, "sim_time": None,
+                              "transitions": [[QUEUED, 0.0],
+                                              ["DISPATCHED", 0.1]]}]}
+        records = [{"type": "transition", "job": "job-0001",
+                    "state": "DISPATCHED", "clock": 0.1, "error": None,
+                    "attempt": 1, "seq": 3}]
+        state = JobJournal.replay(snapshot, records)
+        job = state["jobs"]["job-0001"]
+        assert job["transitions"] == [[QUEUED, 0.0], ["DISPATCHED", 0.1]]
+        assert state["counters"]["dispatched"] == 1
 
     def test_idempotency_and_next_job_survive_replay(self):
         records = [
@@ -352,6 +416,49 @@ class TestDaemonRecovery:
                 assert record["state"] == FAILED
                 reason = json.loads(record["error"])
                 assert reason["reason"] == "retries_exhausted_at_recovery"
+
+    def test_reject_only_journal_restores_counters(self, tmp_path):
+        # No jobs to re-admit, but the rejected count (and the boot
+        # compaction) must still happen.
+        path = tmp_path / "wal.ndjson"
+        _seed_journal(path, [{"type": "reject"}, {"type": "reject"}])
+        with serve_daemon(workers=0,
+                          journal_path=str(path)) as (server, address):
+            assert server._counters["rejected"] == 2
+            assert os.path.exists(str(path) + ".snapshot")
+            assert os.path.getsize(str(path)) == 0  # boot compaction ran
+        snapshot, _, _ = JobJournal.load(str(path))
+        assert snapshot["counters"]["rejected"] == 2
+
+    def test_recovery_terminalized_jobs_land_in_history(self, tmp_path):
+        # Jobs terminalized *during* recovery (unrecoverable spec,
+        # --recover=fail) must appear in the history verb on top of the
+        # replayed history, with history totals matching the counters.
+        path = tmp_path / "wal.ndjson"
+        _seed_journal(path, [
+            _submit_record("job-0001",
+                           spec={"name": "no-such-scenario", "seed": 0,
+                                 "duration": 0.05, "overrides": {}}),
+            _submit_record("job-0002"),
+            {"type": "transition", "job": "job-0002", "state": "RUNNING",
+             "clock": 0.2, "error": None, "attempt": 1},
+        ])
+        with serve_daemon(workers=0, journal_path=str(path),
+                          recover="fail") as (server, address):
+            assert server._history == ["job-0001", "job-0002"]
+            with ServeClient(address) as client:
+                history = client.history()
+                states = {r["id"]: r["state"] for r in history}
+                assert states == {"job-0001": FAILED,
+                                  "job-0002": INTERRUPTED}
+                snapshot = client.telemetry()["snapshot"]
+                assert snapshot["counters"]["failed"] == 1
+                assert snapshot["counters"]["interrupted"] == 1
+        # The boot compaction persisted the history, so a second
+        # restart still serves it.
+        with serve_daemon(workers=0, journal_path=str(path),
+                          recover="fail") as (server, address):
+            assert server._history == ["job-0001", "job-0002"]
 
     def test_recovery_compacts_into_snapshot(self, tmp_path):
         path = tmp_path / "wal.ndjson"
