@@ -17,7 +17,8 @@ import os
 from pathlib import Path
 from typing import Dict
 
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenario import Scenario, run as run_scenario
 
 __all__ = [
     "run_cell",
@@ -51,7 +52,7 @@ _RESULTS_DIR = Path(os.environ.get("REPRO_RESULTS_DIR",
 def run_cell(config) -> ExperimentResult:
     """Run one experiment cell with the benchmark-wide warmup."""
     config.warmup = WARMUP
-    return run_experiment(config)
+    return run_scenario(Scenario(kind="experiment", experiment=config)).result
 
 
 def ms(seconds: float) -> float:

@@ -19,7 +19,8 @@ model's contract.
 
 from bench_common import save_result
 
-from repro.faults import FaultPlan, KillClient, run_fault_scenario
+from repro.experiments.scenario import Scenario, run as run_scenario
+from repro.faults import FaultPlan, KillClient
 
 DURATION = 0.25
 SEED = 0
@@ -30,16 +31,19 @@ KILL_AT = DURATION * 0.4
 P99_NOISE = 1.25
 
 
+def _faults(**params):
+    return run_scenario(Scenario(kind="faults", params=params)).result
+
+
 def run_fault_recovery():
-    clean = run_fault_scenario(seed=SEED, duration=DURATION,
-                               plan=FaultPlan(()))
-    be_kill = run_fault_scenario(
+    clean = _faults(seed=SEED, duration=DURATION, plan=FaultPlan(()))
+    be_kill = _faults(
         seed=SEED, duration=DURATION,
         plan=FaultPlan((KillClient("be-0", at_time=KILL_AT),)))
-    hp_kill = run_fault_scenario(
+    hp_kill = _faults(
         seed=SEED, duration=DURATION,
         plan=FaultPlan((KillClient("hp", at_time=KILL_AT),)))
-    replay = run_fault_scenario(
+    replay = _faults(
         seed=SEED, duration=DURATION,
         plan=FaultPlan((KillClient("be-0", at_time=KILL_AT),)))
     return clean, be_kill, hp_kill, replay

@@ -21,7 +21,7 @@ climbs, the guarded HP p99 stays bounded instead of growing with load.
 
 from bench_common import save_result
 
-from repro.experiments.overload import run_overload_scenario
+from repro.experiments.scenario import Scenario, run as run_scenario
 
 DURATION = 1.2
 WARMUP = 0.4  # covers the guard's tighten-and-settle transient
@@ -32,7 +32,7 @@ P99_BOUND = 1.1
 def scenario(**overrides):
     kwargs = dict(seed=SEED, duration=DURATION, warmup=WARMUP)
     kwargs.update(overrides)
-    return run_overload_scenario(**kwargs)
+    return run_scenario(Scenario(kind="overload", params=kwargs)).result
 
 
 def run_overload_guard():

@@ -10,7 +10,7 @@ uniform rate.  We compare every sharing technique's tail latency.
 Run:  python examples/inference_serving.py
 """
 
-from repro.experiments import inf_inf_config, run_experiment
+from repro.experiments import Scenario, inf_inf_config, run_scenario
 from repro.experiments.tables import format_table
 
 BACKENDS = ("ideal", "temporal", "streams", "mps", "reef", "orion")
@@ -22,7 +22,8 @@ def main() -> None:
     for backend in BACKENDS:
         config = inf_inf_config("resnet101", "resnet50", backend,
                                 arrivals="apollo", duration=3.0)
-        result = run_experiment(config)
+        result = run_scenario(
+            Scenario(kind="experiment", experiment=config)).result
         hp = result.hp_job
         be = result.be_jobs()[0]
         if backend == "ideal":

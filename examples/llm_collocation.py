@@ -25,8 +25,8 @@ from repro.runtime.host import HostGil, HostThread
 from repro.sim.engine import Simulator
 from repro.workloads.arrivals import PoissonArrivals
 from repro.workloads.clients import InferenceClient, TrainingClient
-from repro.workloads.models import get_plan
 from repro.workloads.models.llm import LLM_SMALL, llm_generation_plan
+from repro.workloads.registry import build_plan
 
 import numpy as np
 
@@ -62,7 +62,7 @@ def run(backend_name: str):
     )
     be_ctx = ClientContext(backend, "bert-train", HostThread(sim, gil=gil),
                            kind="training")
-    be_client = TrainingClient(sim, be_ctx, get_plan(BE_MODEL, "training"),
+    be_client = TrainingClient(sim, be_ctx, build_plan(BE_MODEL, "training"),
                                V100_16GB, "bert-train", horizon=DURATION)
     backend.start()
     llm_client.start()

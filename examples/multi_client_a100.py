@@ -11,7 +11,7 @@ Run:  python examples/multi_client_a100.py [hp_model]
 
 import sys
 
-from repro.experiments import multi_client_config, run_experiment
+from repro.experiments import Scenario, multi_client_config, run_scenario
 from repro.experiments.tables import format_table
 from repro.workloads.models import MODEL_NAMES
 
@@ -26,7 +26,8 @@ def main() -> None:
     for backend in ("ideal", "mps", "reef", "orion"):
         config = multi_client_config(hp_model, be_models, backend,
                                      device="A100-40GB", duration=3.0)
-        results[backend] = run_experiment(config)
+        results[backend] = run_scenario(
+            Scenario(kind="experiment", experiment=config)).result
         print(f"[{backend}] done")
 
     ideal_p99 = results["ideal"].hp_job.latency.p99

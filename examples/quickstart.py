@@ -20,10 +20,16 @@ What happens:
 from repro.experiments import (
     ExperimentConfig,
     JobSpec,
-    run_experiment,
+    Scenario,
+    run_scenario,
     solo_throughput,
 )
 from repro.metrics.cost import cost_savings
+
+
+def run_experiment(config):
+    return run_scenario(
+        Scenario(kind="experiment", experiment=config)).result
 
 
 def main() -> None:

@@ -12,7 +12,12 @@ Run:  python examples/training_collocation.py
 """
 
 from repro.core import OrionBackend, OrionConfig, SmThresholdTuner, TunerConfig
-from repro.experiments import train_train_config, run_experiment, solo_throughput
+from repro.experiments import (
+    Scenario,
+    run_scenario,
+    solo_throughput,
+    train_train_config,
+)
 from repro.experiments.runner import get_profile
 from repro.experiments.tables import format_table
 from repro.gpu.device import GpuDevice
@@ -87,7 +92,8 @@ def main() -> None:
                                   ("orion", {"sm_threshold": 160})):
         config = train_train_config(HP_MODEL, BE_MODEL, backend,
                                     duration=4.0, orion=orion_kwargs)
-        result = run_experiment(config)
+        result = run_scenario(
+            Scenario(kind="experiment", experiment=config)).result
         rows.append([backend, f"{result.hp_job.throughput:.2f}",
                      f"{result.be_jobs()[0].throughput:.2f}"])
     print(format_table(["backend", "HP it/s", "BE it/s"], rows))

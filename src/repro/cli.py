@@ -5,6 +5,7 @@
     python -m repro train-train --hp resnet50 --be mobilenet_v2 --backend reef
     python -m repro inf-inf    --hp resnet101 --be resnet50 --arrivals apollo
     python -m repro fleet      --num-gpus 16 --crashes 2 --degrades 1
+    python -m repro llm        --backend orion --request-rate 80
     python -m repro sweep      --scenarios overload_ref --seeds 0,1,2,3
     python -m repro bench      --smoke
     python -m repro profile    --model bert --kind inference
@@ -30,6 +31,12 @@ from repro.experiments.registry import (
     inf_inf_config,
     inf_train_config,
     train_train_config,
+)
+from repro.experiments.params import (
+    FaultsParams,
+    FleetParams,
+    LlmParams,
+    OverloadParams,
 )
 from repro.experiments.runner import get_profile
 from repro.experiments.scenario import Scenario, run as run_scenario
@@ -190,6 +197,57 @@ def build_parser() -> argparse.ArgumentParser:
                    help="full-queue policy: backpressure or load shedding")
     p.add_argument("--json", action="store_true",
                    help="emit JSON (including the canonical ledger)")
+
+    p = sub.add_parser("llm",
+                       help="continuous-batching LLM serving demo: "
+                            "TTFT/TPOT/tokens-per-sec under collocation")
+    p.add_argument("--model", default="llm-small",
+                   help="LLM workload name from the registry "
+                        "(default llm-small)")
+    p.add_argument("--backend", default="orion",
+                   choices=("orion", "temporal", "streams",
+                            "priority-streams"),
+                   help="sharing technique")
+    p.add_argument("--duration", type=float, default=0.2,
+                   help="simulated seconds (default 0.2)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--device", default="V100-16GB", choices=sorted(DEVICES))
+    p.add_argument("--request-rate", type=float, default=80.0,
+                   help="Poisson request arrivals per second (default 80)")
+    p.add_argument("--prompt-mean", type=float, default=64.0,
+                   help="mean prompt length in tokens (default 64)")
+    p.add_argument("--prompt-cap", type=int, default=256,
+                   help="max prompt length in tokens (default 256)")
+    p.add_argument("--output-mean", type=float, default=8.0,
+                   help="mean output length in tokens (default 8)")
+    p.add_argument("--output-cap", type=int, default=64,
+                   help="max output length in tokens (default 64)")
+    p.add_argument("--max-batch", type=int, default=8,
+                   help="continuous-batching decode batch cap (default 8)")
+    p.add_argument("--kv-budget-mb", type=float, default=None,
+                   help="KV-cache budget in MiB (default: whatever "
+                        "device memory is left)")
+    p.add_argument("--kv-block-tokens", type=int, default=16,
+                   help="tokens per KV-cache block (default 16)")
+    p.add_argument("--cache-policy", default="evict",
+                   choices=("evict", "block"),
+                   help="KV pressure policy: evict-and-requeue or "
+                        "block admission until the full reservation fits")
+    p.add_argument("--be-model", default="mobilenet_v2", choices=MODEL_NAMES,
+                   help="best-effort training model collocated with "
+                        "the serving loop")
+    p.add_argument("--be-clients", type=int, default=1,
+                   help="best-effort training clients (0 = solo)")
+    p.add_argument("--no-protect-prefill", action="store_true",
+                   help="disable the phase-aware prefill protection "
+                        "hint (orion only)")
+    p.add_argument("--ttft-slo-mult", type=float, default=3.0,
+                   help="TTFT SLO as a multiple of the solo prefill "
+                        "latency (default 3.0)")
+    p.add_argument("--warmup", type=float, default=0.0,
+                   help="exclude requests arriving before this time")
+    p.add_argument("--json", action="store_true",
+                   help="emit the canonical scenario JSON")
 
     p = sub.add_parser("trace",
                        help="run a scenario with the tracer on; write the "
@@ -439,12 +497,13 @@ def _run_faults(args) -> None:
         kill_at = args.kill_at if args.kill_at is not None \
             else args.duration * 0.4
         plan = FaultPlan((KillClient(args.kill, at_time=kill_at),))
-    scenario = Scenario(kind="faults", name="faults", params=dict(
+    params = FaultsParams(
         seed=args.seed, duration=args.duration, plan=plan,
         backend=args.backend, be_clients=args.be_clients,
         model=args.model, device=args.device,
         watchdog_multiple=args.watchdog,
-    ))
+    ).to_params()
+    scenario = Scenario(kind="faults", name="faults", params=params)
     result = run_scenario(scenario).result
     if args.json:
         print(result.ledger.to_json())
@@ -463,7 +522,7 @@ def _run_faults(args) -> None:
 
 
 def _run_fleet(args) -> None:
-    scenario = Scenario(kind="fleet", name="fleet", params=dict(
+    params = FleetParams(
         seed=args.seed, duration=args.duration, num_gpus=args.num_gpus,
         backend=args.backend, model=args.model, device=args.device,
         crashes=args.crashes, degrades=args.degrades,
@@ -475,7 +534,8 @@ def _run_fleet(args) -> None:
         migration_cooldown=args.migration_cooldown,
         max_inflight_migrations=args.max_inflight_migrations,
         migration_min_gain=args.min_gain,
-    ))
+    ).to_params()
+    scenario = Scenario(kind="fleet", name="fleet", params=params)
     result = run_scenario(scenario).result
     report = result.report
     payload = json.dumps(report, indent=1, sort_keys=True)
@@ -529,14 +589,15 @@ def _run_fleet(args) -> None:
 
 
 def _run_overload(args) -> None:
-    scenario = Scenario(kind="overload", name="overload", params=dict(
+    params = OverloadParams(
         seed=args.seed, duration=args.duration, model=args.model,
         device=args.device, be_clients=args.be_clients,
         hp_load=args.hp_load, be_load=args.be_load, arrivals=args.arrivals,
         deadline_mult=args.deadline_mult or None, slo_mult=args.slo_mult,
         guard=not args.no_guard, queue_depth=args.queue_depth or None,
         policy=args.policy,
-    ))
+    ).to_params()
+    scenario = Scenario(kind="overload", name="overload", params=params)
     result = run_scenario(scenario).result
     if args.json:
         payload = {
@@ -579,6 +640,51 @@ def _run_overload(args) -> None:
         print(f"  {name}: {snap}")
     print()
     print(result.ledger.format_table())
+
+
+def _run_llm(args) -> None:
+    params = LlmParams(
+        seed=args.seed, duration=args.duration, model=args.model,
+        device=args.device, backend=args.backend,
+        request_rate=args.request_rate,
+        prompt_mean=args.prompt_mean, prompt_cap=args.prompt_cap,
+        output_mean=args.output_mean, output_cap=args.output_cap,
+        max_batch=args.max_batch, kv_budget_mb=args.kv_budget_mb,
+        kv_block_tokens=args.kv_block_tokens,
+        cache_policy=args.cache_policy,
+        be_model=args.be_model, be_clients=args.be_clients,
+        protect_prefill=not args.no_protect_prefill,
+        ttft_slo_mult=args.ttft_slo_mult, warmup=args.warmup,
+    ).to_params()
+    scenario = Scenario(kind="llm", name="llm", params=params)
+    wrapped = run_scenario(scenario)
+    if args.json:
+        print(wrapped.to_json())
+        return
+    result = wrapped.result
+    print(f"model: {result.model}   backend: {result.backend}   "
+          f"batch cap: {args.max_batch}   policy: {args.cache_policy}")
+    print(f"requests: {result.requests_arrived} arrived, "
+          f"{result.requests_completed} completed, "
+          f"{result.requests_failed} failed")
+    if result.ttft.count:
+        slo = result.ttft_slo
+        verdict = "OK" if result.ttft.p95 <= slo else "VIOLATED"
+        print(f"ttft: p50 {result.ttft.p50*1e3:.2f} ms   "
+              f"p95 {result.ttft.p95*1e3:.2f} ms   "
+              f"slo {slo*1e3:.2f} ms [{verdict}]")
+    if result.tpot.count:
+        print(f"tpot: p50 {result.tpot.p50*1e3:.2f} ms   "
+              f"p95 {result.tpot.p95*1e3:.2f} ms")
+    print(f"decode throughput: {result.decode_tokens_per_sec:.1f} tok/s   "
+          f"total tokens: {result.total_tokens}")
+    kv = result.kv
+    print(f"kv cache: peak {kv['peak_bytes']/2**20:.1f} MiB   "
+          f"evictions {kv['evictions']}   oom {kv['oom_events']}   "
+          f"admission blocks {kv['admission_blocks']}   "
+          f"conserved {kv['conserved']}")
+    if result.backend_stats:
+        print(f"scheduler: {result.backend_stats}")
 
 
 def _run_trace(args) -> None:
@@ -870,6 +976,9 @@ def main(argv=None) -> int:
         return 0
     if args.command == "overload":
         _run_overload(args)
+        return 0
+    if args.command == "llm":
+        _run_llm(args)
         return 0
     if args.command == "trace":
         _run_trace(args)

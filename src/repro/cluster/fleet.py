@@ -67,7 +67,7 @@ from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import NULL_TRACER, TelemetryConfig
 from repro.workloads.arrivals import PoissonArrivals
 from repro.workloads.clients import ClientStats, RequestRecord
-from repro.workloads.models import get_plan
+from repro.workloads.registry import build_plan
 
 from .placement import (
     JobSignature,
@@ -732,7 +732,7 @@ class Fleet:
         self.health_window = health_window
         self.health_latency_tolerance = health_latency_tolerance
 
-        self.plans = {t.model: get_plan(t.model, "inference")
+        self.plans = {t.model: build_plan(t.model, "inference")
                       for t in self.tenants}
         self.solo_latency: Dict[str, float] = {}
         self.signatures: Dict[str, JobSignature] = {}

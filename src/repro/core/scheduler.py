@@ -77,6 +77,15 @@ class OrionConfig(PolicyConfig):
     ``fallback_hp_latency`` is the HP request latency assumed before
     any profile or measurement lands.  ``hp_window`` sizes the rolling
     window of observed HP request latencies the SLO guard watches.
+
+    ``protect_prefill`` (phase-aware scheduling, §7 extension): while
+    the high-priority client has declared a ``"prefill"`` phase via
+    :meth:`OrionBackend.phase_marker` and its work is in flight, no
+    best-effort kernel is admitted at all — the compute-bound prefill
+    gets the whole GPU so TTFT stays flat, while decode phases fall
+    back to the normal resource-aware policy (which happily collocates
+    the memory-bound decode with compute-heavy best-effort kernels).
+    Inert for workloads that never declare a prefill phase.
     """
 
     def __init__(self, hp_request_latency: Optional[float] = None,
@@ -87,6 +96,7 @@ class OrionConfig(PolicyConfig):
                  be_queue_depth: Optional[int] = None,
                  be_queue_high_water: Optional[int] = None,
                  overload_policy: str = "block",
+                 protect_prefill: bool = True,
                  hp_window: int = 128, **kwargs):
         super().__init__(**kwargs)
         if watchdog_multiple is not None and watchdog_multiple <= 0:
@@ -110,6 +120,7 @@ class OrionConfig(PolicyConfig):
         self.be_queue_depth = be_queue_depth
         self.be_queue_high_water = be_queue_high_water
         self.overload_policy = overload_policy
+        self.protect_prefill = protect_prefill
         self.hp_window = hp_window
 
 
@@ -165,9 +176,13 @@ class OrionBackend(Backend):
         # admitted at all (the SLO guard's emergency brake).
         self.be_admission_suspended = False
         self.be_suspensions = 0
+        # Phase hint from the HP client (phase_marker); "prefill" arms
+        # the protect_prefill deferral in _try_launch_be.
+        self._hp_phase: Optional[str] = None
         # Counters for tests/telemetry.
         self.be_kernels_launched = 0
         self.be_kernels_deferred = 0
+        self.prefill_deferrals = 0
         self.profile_misses = 0
         self.hp_requests_completed = 0
         self.hp_deadline_misses = 0
@@ -300,6 +315,20 @@ class OrionBackend(Backend):
             self._hp_request_deadline = deadline
         return None
 
+    def phase_marker(self, client_id: str, phase: str) -> Optional[Signal]:
+        """Record the HP client's declared phase (§7 phase hints).
+
+        Only the high-priority client's markers matter here: entering
+        ``"prefill"`` arms the protect-prefill deferral, leaving it
+        wakes the scheduler so deferred best-effort work re-evaluates.
+        Never blocks the caller.
+        """
+        if client_id == self._hp_client_id and phase != self._hp_phase:
+            self._hp_phase = phase
+            if phase != "prefill":
+                self._wake_scheduler()
+        return None
+
     def _deregister_cleanup(self, info: ClientInfo) -> None:
         """Self-healing teardown for a dead client (§7's cluster-manager
         duty, absorbed into the scheduler): drain its software queue
@@ -322,6 +351,7 @@ class OrionBackend(Backend):
             self._current_hp = None
             self._hp_request_started_at = None
             self._hp_request_deadline = None
+            self._hp_phase = None
             # A successor HP client is a different workload: its latency
             # estimate must be re-learned, not inherited from the dead one.
             self._hp_latency_ewma = None
@@ -355,6 +385,12 @@ class OrionBackend(Backend):
             self._hp_request_started_at = None
             self._hp_request_deadline = None
             self.hp_requests_completed += 1
+            if self._hp_phase is not None:
+                # Phase hints are request-scoped: a lingering "prefill"
+                # must not keep deferring best-effort work while the HP
+                # client sits idle between requests.
+                self._hp_phase = None
+                self._wake_scheduler()
 
     # ------------------------------------------------------------------
     # Overload controls (driven by repro.core.sloguard)
@@ -565,6 +601,14 @@ class OrionBackend(Backend):
         # evaluate once.
         config = self.config
         hp_running = self.hp_task_running
+        if (hp_running and config.protect_prefill
+                and self._hp_phase == "prefill"):
+            # Phase hint: compute-bound prefill in flight — hold all
+            # best-effort kernels so TTFT stays at its solo latency.
+            self.be_kernels_deferred += 1
+            self.prefill_deferrals += 1
+            self._trace_be_block(client_id, "prefill_protect")
+            return False
         if config.use_dur_throttle:
             budget = config.dur_threshold_frac * self.hp_request_latency
             if state.outstanding > budget or (

@@ -42,7 +42,7 @@ from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.tracer import NULL_TRACER, TelemetryConfig
 from repro.workloads.arrivals import make_arrivals
 from repro.workloads.clients import ClientStats, InferenceClient
-from repro.workloads.models import get_plan
+from repro.workloads.registry import build_plan
 
 __all__ = ["OverloadResult", "run_overload_scenario"]
 
@@ -112,10 +112,11 @@ def run_overload_scenario(
     returns the same :class:`OverloadResult` it always did.
     """
     warnings.warn(
-        "run_overload_scenario() is deprecated; use "
+        "run_overload_scenario() is deprecated and scheduled for removal "
+        "two releases after the Scenario API shipped (DESIGN.md §6.9); use "
         "repro.experiments.scenario.run(Scenario(kind='overload', "
         "params={...})) instead",
-        DeprecationWarning, stacklevel=2)
+        FutureWarning, stacklevel=2)
     from .scenario import Scenario, run as run_scenario
 
     params = dict(
@@ -206,7 +207,7 @@ def _run_overload_scenario(
         return ClientContext(backend, name, host,
                              high_priority=high_priority, kind="inference")
 
-    plan = get_plan(model, "inference")
+    plan = build_plan(model, "inference")
     hp_rps = hp_load * capacity
     hp_arrivals = make_arrivals(
         arrivals, rps=hp_rps, rng=rng_factory.stream("arrivals:hp"),

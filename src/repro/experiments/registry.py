@@ -168,6 +168,7 @@ SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     "overload": _params_scenario("overload", "overload", {}),
     "faults": _params_scenario("faults", "faults", {}),
     "fleet": _params_scenario("fleet", "fleet", {}),
+    "llm": _params_scenario("llm", "llm", {}),
     # Self-healing fleet: adversarial initial packing, measured-
     # interference rebalancing on, faults firing while tenants move.
     "fleet_rebalance": _params_scenario(
@@ -178,6 +179,10 @@ SCENARIOS: Dict[str, Callable[..., Scenario]] = {
     # Benchmark references (pinned workloads/horizons).
     "overload_ref": _params_scenario(
         "overload_ref", "overload", {"duration": 0.4}),
+    "llm_ref": _params_scenario(
+        "llm_ref", "llm",
+        {"duration": 0.4, "request_rate": 80.0, "max_batch": 8,
+         "be_clients": 1, "warmup": 0.05}),
     "fleet_ref": _params_scenario(
         "fleet_ref", "fleet",
         {"duration": 0.15, "num_gpus": 8, "crashes": 1, "degrades": 1}),

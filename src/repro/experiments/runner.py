@@ -45,7 +45,7 @@ from repro.workloads.arrivals import (
     UniformArrivals,
 )
 from repro.workloads.clients import ClientStats, InferenceClient, TrainingClient
-from repro.workloads.models import get_plan
+from repro.workloads.registry import build_plan
 
 from .config import ExperimentConfig, JobSpec
 
@@ -61,7 +61,7 @@ def get_profile(model: str, kind: str, device_spec: DeviceSpec,
                 batch_size: int = 0) -> ModelProfile:
     key = (model, kind, batch_size, device_spec.name)
     if key not in _PROFILE_CACHE:
-        plan = get_plan(model, kind, batch_size)
+        plan = build_plan(model, kind, batch_size=batch_size)
         _PROFILE_CACHE[key] = profile_plan(plan, device_spec)
     return _PROFILE_CACHE[key]
 
@@ -164,10 +164,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
     returns the same :class:`ExperimentResult` it always did.
     """
     warnings.warn(
-        "run_experiment() is deprecated; use "
+        "run_experiment() is deprecated and scheduled for removal two "
+        "releases after the Scenario API shipped (DESIGN.md §6.9); use "
         "repro.experiments.scenario.run(Scenario(kind='experiment', "
         "experiment=config)) instead",
-        DeprecationWarning, stacklevel=2)
+        FutureWarning, stacklevel=2)
     from .scenario import Scenario, run as run_scenario
 
     return run_scenario(Scenario(kind="experiment", experiment=config)).result
@@ -207,7 +208,7 @@ def _run_experiment(config: ExperimentConfig) -> ExperimentResult:
         )
         ctx = ClientContext(backend, job.name, host,
                             high_priority=job.high_priority, kind=job.kind)
-        plan = get_plan(job.model, job.kind, job.batch_size)
+        plan = build_plan(job.model, job.kind, batch_size=job.batch_size)
         if job.kind == "training":
             client = TrainingClient(sim, ctx, plan, device_spec, job.name,
                                     horizon=config.duration)

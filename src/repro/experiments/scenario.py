@@ -23,7 +23,13 @@ assert.
 Named scenarios (the catalog the CLI, sweep, and bench share) live in
 :mod:`repro.experiments.registry` as ``make_scenario(name, ...)``.
 The legacy entry points survive as thin shims that emit a
-``DeprecationWarning`` and delegate here; see DESIGN.md §6.4.
+``FutureWarning`` and delegate here; see DESIGN.md §6.4 (removal
+schedule in §6.9).
+
+Params-kind scenarios are validated at construction against the typed
+dataclasses in :mod:`repro.experiments.params`: an unknown or
+out-of-range knob raises ``ValueError`` from ``Scenario(...)`` itself,
+not minutes later inside a sweep worker.
 """
 
 from __future__ import annotations
@@ -34,10 +40,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional
 
 from .config import ExperimentConfig
+from .params import validate_params
 
 __all__ = ["Scenario", "ScenarioResult", "run", "SCENARIO_KINDS"]
 
-SCENARIO_KINDS = ("experiment", "overload", "faults", "fleet")
+SCENARIO_KINDS = ("experiment", "overload", "faults", "fleet", "llm")
 
 
 @dataclass(frozen=True)
@@ -47,17 +54,17 @@ class Scenario:
     ``kind``
         Scenario family: ``"experiment"`` (collocation experiment),
         ``"overload"`` (overload-protection scenario), ``"faults"``
-        (fault-injection scenario), or ``"fleet"`` (multi-GPU
-        resilience fleet).
+        (fault-injection scenario), ``"fleet"`` (multi-GPU resilience
+        fleet), or ``"llm"`` (continuous-batching LLM serving).
     ``name``
         Display/registry name; defaults to ``kind``.
     ``experiment``
         The :class:`ExperimentConfig` payload — required for (and
         exclusive to) ``kind="experiment"``.
     ``params``
-        Keyword arguments for the overload/faults implementations,
-        passed through verbatim; unknown keys fail exactly as they
-        would on the legacy entry points.
+        Keyword arguments for the params-kind implementations,
+        validated at construction against the kind's typed surface
+        (:mod:`repro.experiments.params`) and passed through verbatim.
     """
 
     kind: str
@@ -78,6 +85,8 @@ class Scenario:
             raise ValueError(
                 f"kind={self.kind!r} is configured via params, "
                 "not an ExperimentConfig")
+        else:
+            validate_params(self.kind, self.params)
         object.__setattr__(self, "params", dict(self.params))
         if not self.name:
             object.__setattr__(self, "name", self.kind)
@@ -171,6 +180,10 @@ def run(scenario: Scenario) -> ScenarioResult:
         from repro.cluster.fleet import _run_fleet_scenario
 
         result = _run_fleet_scenario(**scenario.params)
+    elif scenario.kind == "llm":
+        from repro.workloads.llmserve import _run_llm_scenario
+
+        result = _run_llm_scenario(**scenario.params)
     else:
         from repro.faults.scenario import _run_fault_scenario
 
@@ -272,9 +285,40 @@ def _canon_fleet(result) -> dict:
     }
 
 
+def _canon_llm(result) -> dict:
+    return {
+        "model": result.model,
+        "backend": result.backend,
+        "requests": {
+            "arrived": result.requests_arrived,
+            "completed": result.requests_completed,
+            "failed": result.requests_failed,
+        },
+        "ttft": _canon_latency(result.ttft),
+        "tpot": _canon_latency(result.tpot),
+        "ttft_slo": result.ttft_slo,
+        "prefill_reference": result.prefill_reference,
+        "decode_tokens_per_sec": result.decode_tokens_per_sec,
+        "total_tokens": result.total_tokens,
+        "records": [
+            [r.req_id, r.arrival, r.prompt_tokens, r.output_tokens,
+             r.admitted, r.first_token, r.end, r.evictions,
+             int(r.failed)]
+            for r in result.records
+        ],
+        "admission_log": list(result.admission_log),
+        "kv": dict(result.kv),
+        "jobs": {name: _canon_stats(stats)
+                 for name, stats in sorted(result.jobs.items())},
+        "backend_stats": result.backend_stats,
+        "ledger": json.loads(result.ledger.to_json()),
+    }
+
+
 _CANONICALIZERS = {
     "experiment": _canon_experiment,
     "overload": _canon_overload,
     "faults": _canon_faults,
     "fleet": _canon_fleet,
+    "llm": _canon_llm,
 }

@@ -34,7 +34,7 @@ from repro.workloads.clients import (
     RestartingInferenceClient,
     RestartingTrainingClient,
 )
-from repro.workloads.models import get_plan
+from repro.workloads.registry import build_plan
 
 from .injector import FaultInjector
 from .plan import FaultPlan, KillClient
@@ -95,10 +95,11 @@ def run_fault_scenario(
     returns the same :class:`FaultScenarioResult` it always did.
     """
     warnings.warn(
-        "run_fault_scenario() is deprecated; use "
+        "run_fault_scenario() is deprecated and scheduled for removal two "
+        "releases after the Scenario API shipped (DESIGN.md §6.9); use "
         "repro.experiments.scenario.run(Scenario(kind='faults', "
         "params={...})) instead",
-        DeprecationWarning, stacklevel=2)
+        FutureWarning, stacklevel=2)
     from repro.experiments.scenario import Scenario, run as run_scenario
 
     params = dict(
@@ -159,7 +160,7 @@ def _run_fault_scenario(
                              high_priority=high_priority, kind=kind)
 
     clients: List = []
-    hp_plan = get_plan(model, "inference")
+    hp_plan = build_plan(model, "inference")
     hp = RestartingInferenceClient(
         sim, make_ctx("hp", True, "inference"), hp_plan, device_spec,
         PoissonArrivals(hp_rps, rng_factory.stream("poisson:hp")),
@@ -168,7 +169,7 @@ def _run_fault_scenario(
         ledger=ledger,
     )
     clients.append(hp)
-    train_plan = get_plan(model, "training")
+    train_plan = build_plan(model, "training")
     for i in range(be_clients):
         name = f"be-{i}"
         clients.append(RestartingTrainingClient(

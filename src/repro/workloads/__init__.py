@@ -19,6 +19,16 @@ from .clients import (
 )
 from .models import MODEL_NAMES, NLP_MODELS, VISION_MODELS, batch_size_for, get_plan
 from .rates import TABLE3_RPS, rps_for
+from .registry import (
+    WORKLOADS,
+    LlmWorkload,
+    WorkloadSpec,
+    ZooWorkload,
+    build_plan,
+    get_workload,
+    register_workload,
+    workload_names,
+)
 
 __all__ = [
     "apollo_trace",
@@ -42,4 +52,12 @@ __all__ = [
     "NLP_MODELS",
     "TABLE3_RPS",
     "rps_for",
+    "WorkloadSpec",
+    "ZooWorkload",
+    "LlmWorkload",
+    "WORKLOADS",
+    "register_workload",
+    "get_workload",
+    "workload_names",
+    "build_plan",
 ]

@@ -122,10 +122,14 @@ def llm_generation_plan(config: LlmConfig = LLM_SMALL, batch: int = 1,
 
     Decode-step kernel ids are shared across steps of the same cache
     bucket so the offline profile stays compact, exactly as a real
-    deployment would profile per-shape kernels once.
+    deployment would profile per-shape kernels once.  ``gen_tokens=0``
+    is a prefill-only request (the continuous-batching scenario issues
+    prefill and decode as separate plans).
     """
-    if min(batch, prompt_len, gen_tokens) < 1:
-        raise ValueError("batch, prompt_len, gen_tokens must be >= 1")
+    if min(batch, prompt_len) < 1:
+        raise ValueError("batch and prompt_len must be >= 1")
+    if gen_tokens < 0:
+        raise ValueError("gen_tokens must be >= 0")
     model_name = f"{config.name}-b{batch}-p{prompt_len}-g{gen_tokens}"
     namer = Namer(model_name)
     ops: List[PlannedOp] = [
@@ -145,7 +149,7 @@ def llm_generation_plan(config: LlmConfig = LLM_SMALL, batch: int = 1,
                 config, batch, bucket, bucket_namer
             )
         ops.extend(PlannedOp("decode", spec=s) for s in bucket_specs[bucket])
-    out_bytes = FP32_BYTES * batch * gen_tokens
+    out_bytes = FP32_BYTES * batch * max(gen_tokens, 1)
     ops.append(PlannedOp("output", copy_bytes=out_bytes,
                          copy_kind=MemoryOpKind.MEMCPY_D2H))
     state = (FP32_BYTES * config.params

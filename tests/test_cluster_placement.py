@@ -196,7 +196,8 @@ def test_prediction_matches_measured_collocation():
     pair predicted to interfere more loses more high-priority training
     throughput when actually collocated."""
     from repro.experiments.registry import train_train_config
-    from repro.experiments.runner import run_experiment, solo_throughput
+    from repro.experiments.runner import solo_throughput
+    from repro.experiments.scenario import Scenario, run as run_scenario
 
     hp = "resnet50"
     partners = ("resnet101", "mobilenet_v2")  # compute-ish vs memory-ish
@@ -208,7 +209,8 @@ def test_prediction_matches_measured_collocation():
         predicted[be] = pair_interference(hp_sig, be_sig)
         config = train_train_config(hp, be, "mps", duration=2.5)
         config.warmup = 0.4
-        result = run_experiment(config)
+        result = run_scenario(
+            Scenario(kind="experiment", experiment=config)).result
         measured[be] = 1.0 - result.hp_job.throughput / solo_throughput(
             hp, "training")
     ranked_by_prediction = sorted(partners, key=predicted.get)

@@ -10,9 +10,15 @@ from repro.experiments.registry import (
     solo_inference_config,
     train_train_config,
 )
-from repro.experiments.runner import get_profile, run_experiment, solo_throughput
+from repro.experiments.runner import get_profile, solo_throughput
+from repro.experiments.scenario import Scenario, run as run_scenario
 from repro.experiments.tables import format_series, format_table, ratio
 from repro.gpu.specs import V100_16GB
+
+
+def run_experiment(cfg):
+    """Run a collocation config through the Scenario API."""
+    return run_scenario(Scenario(kind="experiment", experiment=cfg)).result
 
 
 # ----------------------------------------------------------------------

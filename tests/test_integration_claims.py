@@ -12,7 +12,8 @@ from repro.experiments.registry import (
     inf_train_config,
     train_train_config,
 )
-from repro.experiments.runner import run_experiment, solo_throughput
+from repro.experiments.runner import solo_throughput
+from repro.experiments.scenario import Scenario, run as run_scenario
 from repro.metrics.cost import cost_savings
 
 HP, BE = "resnet50", "resnet101"
@@ -20,7 +21,7 @@ HP, BE = "resnet50", "resnet101"
 
 def run(cfg):
     cfg.warmup = 0.3
-    return run_experiment(cfg)
+    return run_scenario(Scenario(kind="experiment", experiment=cfg)).result
 
 
 @pytest.fixture(scope="module")

@@ -25,7 +25,45 @@ def test_config_validation():
     with pytest.raises(ValueError):
         LlmConfig(layers=0)
     with pytest.raises(ValueError):
-        llm_generation_plan(gen_tokens=0)
+        llm_generation_plan(gen_tokens=-1)
+    with pytest.raises(ValueError):
+        llm_generation_plan(batch=0)
+    with pytest.raises(ValueError):
+        llm_generation_plan(prompt_len=0)
+
+
+def test_prefill_only_plan():
+    """gen_tokens=0 is valid: prefill with no decode steps (the
+    continuous-batching engine issues prefill and decode separately)."""
+    plan = llm_generation_plan(LLM_SMALL, batch=1, prompt_len=64,
+                               gen_tokens=0)
+    phases = {op.phase for op in plan.ops}
+    assert "forward" in phases
+    assert "decode" not in phases
+    assert plan.kernel_count > 0
+
+
+def test_batch_one_decode_plan():
+    plan = llm_generation_plan(LLM_SMALL, batch=1, prompt_len=1,
+                               gen_tokens=1)
+    assert any(op.phase == "decode" for op in plan.ops)
+
+
+def test_single_layer_config_plans():
+    tiny = LlmConfig(layers=1, hidden=64, heads=2, ffn=128, vocab=256)
+    plan = llm_generation_plan(tiny, batch=1, prompt_len=8, gen_tokens=2)
+    assert plan.kernel_count > 0
+    assert plan.state_bytes > 4 * tiny.params
+
+
+def test_kv_cache_bytes_scaling():
+    """kv_cache_bytes is linear in batch and tokens, and counts both
+    K and V across every layer."""
+    c = LLM_SMALL
+    one = c.kv_cache_bytes(1, 1)
+    assert one == 4 * 2 * c.layers * c.hidden  # K+V, fp32, per token
+    assert c.kv_cache_bytes(4, 16) == 4 * 16 * one
+    assert c.kv_cache_bytes(1, 0) == 0
 
 
 def test_param_count_formula():

@@ -7,7 +7,6 @@ import json
 import pytest
 
 from repro.core.scheduler import OrionBackend, OrionConfig
-from repro.experiments.config import ExperimentConfig
 from repro.experiments.registry import (
     SCENARIOS,
     inf_train_config,
@@ -111,7 +110,7 @@ class TestDeprecationShims:
     def test_run_overload_scenario_shim(self):
         from repro.experiments.overload import run_overload_scenario
 
-        with pytest.warns(DeprecationWarning, match="run_overload_scenario"):
+        with pytest.warns(FutureWarning, match="run_overload_scenario"):
             legacy = run_overload_scenario(seed=4, duration=0.05)
         new = run(Scenario(kind="overload",
                            params={"seed": 4, "duration": 0.05})).result
@@ -124,7 +123,7 @@ class TestDeprecationShims:
     def test_run_fault_scenario_shim(self):
         from repro.faults import run_fault_scenario
 
-        with pytest.warns(DeprecationWarning, match="run_fault_scenario"):
+        with pytest.warns(FutureWarning, match="run_fault_scenario"):
             legacy = run_fault_scenario(seed=2, duration=0.1)
         new = run(Scenario(kind="faults",
                            params={"seed": 2, "duration": 0.1})).result
@@ -136,7 +135,7 @@ class TestDeprecationShims:
 
         config = inf_train_config("resnet50", "mobilenet_v2", "orion",
                                   duration=0.55)
-        with pytest.warns(DeprecationWarning, match="run_experiment"):
+        with pytest.warns(FutureWarning, match="run_experiment"):
             legacy = run_experiment(config)
         new = run(Scenario(kind="experiment", experiment=config)).result
         for name in legacy.jobs:

@@ -404,16 +404,17 @@ class TestEndToEnd:
                 assert client.scenarios() == scenario_catalog()
 
     def test_failed_job_records_error(self):
-        # 'faults' rejects unknown scenario params at construction,
-        # which surfaces through the daemon as a FAILED job.
+        # A kind="llm" scenario pointed at a non-LLM workload passes
+        # construction-time validation but raises when it runs, which
+        # surfaces through the daemon as a FAILED job.
         with serve_daemon(workers=1) as (_, address):
             with ServeClient(address) as client:
                 job = client.submit(scenario={
-                    "kind": "faults",
-                    "params": {"duration": 0.05, "nonsense_param": 1}})
+                    "kind": "llm",
+                    "params": {"duration": 0.05, "model": "resnet50"}})
                 final = client.wait(job, timeout=120)
                 assert final["state"] == FAILED
-                assert "nonsense_param" in final["error"]
+                assert "not an LLM workload" in final["error"]
                 with pytest.raises(ServeError) as excinfo:
                     client.result_json(job)
                 assert excinfo.value.code == "no_result"
@@ -427,6 +428,14 @@ class TestEndToEnd:
                 with pytest.raises(ServeError) as excinfo:
                     client.submit(scenario={"kind": "experiment"})
                 assert excinfo.value.code == "bad_scenario"
+                # Typed-params validation runs at submit: unknown
+                # scenario params are rejected before a job exists.
+                with pytest.raises(ServeError) as excinfo:
+                    client.submit(scenario={
+                        "kind": "faults",
+                        "params": {"duration": 0.05, "nonsense_param": 1}})
+                assert excinfo.value.code == "bad_scenario"
+                assert "nonsense_param" in str(excinfo.value)
                 with pytest.raises(ServeError) as excinfo:
                     client.request("submit")
                 assert excinfo.value.code == "bad_request"

@@ -6,7 +6,7 @@ import json
 import pytest
 
 from repro.cli import main as cli_main
-from repro.experiments.overload import run_overload_scenario
+from repro.experiments.scenario import Scenario, run as run_scenario
 from repro.metrics.utilization import average_utilization, binned_trace
 from repro.runtime.backend import SoftwareQueue
 from repro.sim.engine import Simulator
@@ -24,10 +24,13 @@ from repro.telemetry import (
 )
 
 
+def _overload(**params):
+    return run_scenario(Scenario(kind="overload", params=params)).result
+
+
 def _traced_overload(seed=0, duration=0.08, **kwargs):
-    return run_overload_scenario(
-        seed=seed, duration=duration,
-        telemetry=TelemetryConfig(tracing=True), **kwargs)
+    return _overload(seed=seed, duration=duration,
+                     telemetry=TelemetryConfig(tracing=True), **kwargs)
 
 
 # ----------------------------------------------------------------------
@@ -168,7 +171,7 @@ class TestQueueTelemetryShim:
         assert snap["gauges"]["queue_depth{client=c0}"]["max"] == 1
 
     def test_backend_queue_telemetry_keys_unchanged(self):
-        result = run_overload_scenario(seed=0, duration=0.05)
+        result = _overload(seed=0, duration=0.05)
         for snap in result.queue_telemetry.values():
             assert set(snap) == {"depth", "enqueued_total", "max_depth_seen",
                                  "rejected_total", "max_depth"}
@@ -180,14 +183,14 @@ class TestQueueTelemetryShim:
         import dataclasses
 
         from repro.experiments.registry import train_train_config
-        from repro.experiments.runner import run_experiment
 
         for backend in ("temporal", "ticktock"):
             config = dataclasses.replace(
                 train_train_config("mobilenet_v2", "mobilenet_v2", backend,
                                    seed=0),
                 duration=0.05, warmup=0.0)
-            result = run_experiment(config)
+            result = run_scenario(
+                Scenario(kind="experiment", experiment=config)).result
             telemetry = result.metrics.snapshot()["counters"]
             wait_key = ("slice_wait_total" if backend == "temporal"
                         else "barrier_wait_total")
@@ -319,7 +322,7 @@ class TestDeterminism:
         assert a1 == a2
 
     def test_tracing_does_not_perturb_results(self):
-        plain = run_overload_scenario(seed=0, duration=0.08)
+        plain = _overload(seed=0, duration=0.08)
         traced = _traced_overload(seed=0)
         assert plain.hp_latency.count == traced.hp_latency.count
         assert plain.hp_latency.p99 == traced.hp_latency.p99

@@ -1,0 +1,150 @@
+"""Tests for the named workload registry (WorkloadSpec/build_plan)
+and the typed per-kind scenario parameter surfaces."""
+
+import pytest
+
+from repro.experiments.params import (
+    PARAM_TYPES,
+    FleetParams,
+    LlmParams,
+    OverloadParams,
+    validate_params,
+)
+from repro.experiments.scenario import Scenario
+from repro.workloads.models import MODEL_NAMES
+from repro.workloads.models.llm import LLM_SMALL
+from repro.workloads.models.zoo import get_plan
+from repro.workloads.registry import (
+    WORKLOADS,
+    LlmWorkload,
+    WorkloadSpec,
+    ZooWorkload,
+    build_plan,
+    get_workload,
+    register_workload,
+    workload_names,
+)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_every_zoo_model_registered(self):
+        names = workload_names()
+        for model in MODEL_NAMES:
+            assert model in names
+        assert "llm-small" in names
+        assert "llm" in names
+
+    def test_specs_satisfy_protocol(self):
+        for spec in WORKLOADS.values():
+            assert isinstance(spec, WorkloadSpec)
+            assert spec.kinds
+            description = spec.describe()
+            assert "kinds" in description
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            get_workload("gpt5")
+
+    def test_build_plan_matches_zoo(self):
+        via_registry = build_plan("resnet50", "inference")
+        via_zoo = get_plan("resnet50", "inference")
+        assert via_registry.kernel_count == via_zoo.kernel_count
+        assert via_registry.state_bytes == via_zoo.state_bytes
+
+    def test_build_plan_batch_override(self):
+        small = build_plan("resnet50", "inference", batch_size=1)
+        big = build_plan("resnet50", "inference", batch_size=16)
+        assert big.state_bytes >= small.state_bytes
+
+    def test_llm_plan_through_registry(self):
+        plan = build_plan("llm", "inference", prompt_len=32, gen_tokens=4)
+        assert plan.kernel_count > 0
+        assert get_workload("llm").config is LLM_SMALL
+
+    def test_zoo_workload_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            ZooWorkload("not_a_model")
+        with pytest.raises(ValueError):
+            ZooWorkload("resnet50").plan("serving")
+        with pytest.raises(ValueError):
+            ZooWorkload("resnet50").plan("inference", batch_size=-1)
+
+    def test_llm_workload_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            LlmWorkload("x").plan("training")
+
+    def test_unknown_kwarg_is_typeerror(self):
+        with pytest.raises(TypeError):
+            build_plan("resnet50", "inference", sequence_len=128)
+
+    def test_register_requires_name(self):
+        with pytest.raises(ValueError):
+            register_workload(LlmWorkload(""))
+
+
+# ----------------------------------------------------------------------
+# Typed params
+# ----------------------------------------------------------------------
+class TestTypedParams:
+    def test_to_params_is_sparse(self):
+        assert OverloadParams().to_params() == {}
+        assert OverloadParams(be_clients=4).to_params() == {"be_clients": 4}
+        assert LlmParams(seed=2, max_batch=16).to_params() == \
+            {"seed": 2, "max_batch": 16}
+
+    def test_every_params_kind_covered(self):
+        assert set(PARAM_TYPES) == {"overload", "faults", "fleet", "llm"}
+
+    def test_validate_unknown_key_names_surface(self):
+        with pytest.raises(ValueError, match="be_client\\b"):
+            validate_params("overload", {"be_client": 3})
+
+    def test_validate_range(self):
+        with pytest.raises(ValueError, match="request_rate"):
+            validate_params("llm", {"request_rate": -1.0})
+        with pytest.raises(ValueError, match="num_gpus"):
+            validate_params("fleet", {"num_gpus": 0})
+
+    def test_validate_choices(self):
+        with pytest.raises(ValueError, match="policy"):
+            validate_params("overload", {"policy": "drop"})
+        with pytest.raises(ValueError, match="arrivals"):
+            validate_params("overload", {"arrivals": "bursty"})
+
+    def test_llm_mean_cap_relations(self):
+        with pytest.raises(ValueError, match="prompt_mean"):
+            LlmParams(prompt_mean=300.0, prompt_cap=256)
+        with pytest.raises(ValueError, match="output_mean"):
+            LlmParams(output_mean=100.0, output_cap=64)
+
+    def test_scenario_construction_validates(self):
+        with pytest.raises(ValueError, match="unknown llm scenario"):
+            Scenario(kind="llm", params={"reqest_rate": 80.0})
+        with pytest.raises(ValueError, match="slowdown"):
+            Scenario(kind="fleet", params={"slowdown": 0})
+        # Valid sparse params construct fine and stay sparse.
+        scenario = Scenario(kind="llm", params={"max_batch": 16})
+        assert scenario.params == {"max_batch": 16}
+
+    def test_fleet_surface_matches_implementation(self):
+        import inspect
+
+        from repro.cluster.fleet import _run_fleet_scenario
+
+        impl = set(inspect.signature(_run_fleet_scenario).parameters)
+        typed = {f.name for f in
+                 __import__("dataclasses").fields(FleetParams)}
+        assert typed == impl
+
+    def test_llm_surface_matches_implementation(self):
+        import inspect
+
+        from repro.workloads.llmserve import _run_llm_scenario
+
+        impl = set(inspect.signature(_run_llm_scenario).parameters)
+        typed = {f.name for f in
+                 __import__("dataclasses").fields(LlmParams)}
+        assert typed == impl
